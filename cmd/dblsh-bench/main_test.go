@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestResolveProfilesSets(t *testing.T) {
+	small, err := resolveProfiles("small")
+	if err != nil || len(small) == 0 {
+		t.Fatalf("small: %v (%d profiles)", err, len(small))
+	}
+	full, err := resolveProfiles("full")
+	if err != nil || len(full) != 10 {
+		t.Fatalf("full: %v (%d profiles)", err, len(full))
+	}
+}
+
+func TestResolveProfilesByName(t *testing.T) {
+	ps, err := resolveProfiles("gist, Audio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0].Name != "Gist" || ps[1].Name != "Audio" {
+		t.Fatalf("resolved %+v", ps)
+	}
+}
+
+func TestResolveProfilesUnknown(t *testing.T) {
+	if _, err := resolveProfiles("nope"); err == nil {
+		t.Fatal("unknown profile must error")
+	}
+	if _, err := resolveProfiles(""); err == nil {
+		t.Fatal("empty set must error")
+	}
+}
+
+func TestFirstTwo(t *testing.T) {
+	full, _ := resolveProfiles("full")
+	if got := firstTwo(full); len(got) != 2 {
+		t.Fatalf("firstTwo returned %d", len(got))
+	}
+	one, _ := resolveProfiles("gist")
+	if got := firstTwo(one); len(got) != 1 {
+		t.Fatalf("firstTwo on single profile returned %d", len(got))
+	}
+}

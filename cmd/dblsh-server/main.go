@@ -1,0 +1,91 @@
+// Command dblsh-server serves approximate nearest neighbor queries over HTTP
+// with a DB-LSH index.
+//
+// The index is loaded from a file previously written with Index.WriteTo
+// (-index), or built at startup from a demo corpus (-demo-n / -demo-dim)
+// when no file is given.
+//
+//	dblsh-server -addr :8080 -index vectors.dblsh
+//	dblsh-server -addr :8080 -demo-n 100000 -demo-dim 128
+//
+// Endpoints:
+//
+//	GET  /healthz
+//	GET  /stats
+//	POST /search          {"vector": [...], "k": 10}
+//	POST /search_radius   {"vector": [...], "radius": 1.5}
+//	POST /vectors         {"vector": [...]}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"dblsh"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		indexFile = flag.String("index", "", "index file written by Index.WriteTo (empty: build demo corpus)")
+		demoN     = flag.Int("demo-n", 50_000, "demo corpus size when -index is not given")
+		demoDim   = flag.Int("demo-dim", 64, "demo corpus dimensionality")
+		seed      = flag.Int64("seed", 1, "demo corpus / hashing seed")
+	)
+	flag.Parse()
+
+	idx, err := loadIndex(*indexFile, *demoN, *demoDim, *seed)
+	if err != nil {
+		log.Fatalf("dblsh-server: %v", err)
+	}
+	log.Printf("serving %d vectors of dim %d on %s", idx.Len(), idx.Dim(), *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(idx).handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+func loadIndex(path string, demoN, demoDim int, seed int64) (*dblsh.Index, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		start := time.Now()
+		idx, err := dblsh.Read(f)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		log.Printf("loaded %s in %v", path, time.Since(start).Round(time.Millisecond))
+		return idx, nil
+	}
+	log.Printf("no -index given; building a %d×%d demo corpus", demoN, demoDim)
+	rng := rand.New(rand.NewSource(seed))
+	flat := make([]float32, demoN*demoDim)
+	// Clustered demo data: 100 Gaussian blobs.
+	centers := make([][]float32, 100)
+	for i := range centers {
+		c := make([]float32, demoDim)
+		for j := range c {
+			c[j] = float32(rng.NormFloat64() * 10)
+		}
+		centers[i] = c
+	}
+	for i := 0; i < demoN; i++ {
+		c := centers[rng.Intn(len(centers))]
+		row := flat[i*demoDim : (i+1)*demoDim]
+		for j := range row {
+			row[j] = c[j] + float32(rng.NormFloat64())
+		}
+	}
+	return dblsh.NewFromFlat(flat, demoN, demoDim, dblsh.Options{Seed: seed})
+}

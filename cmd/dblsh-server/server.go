@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"dblsh"
+)
+
+// server wraps an index with the locking the HTTP surface needs: searches
+// run concurrently under RLock; Add (which mutates the trees) takes the
+// write lock.
+type server struct {
+	mu  sync.RWMutex
+	idx *dblsh.Index
+
+	searchers sync.Pool
+}
+
+func newServer(idx *dblsh.Index) *server {
+	s := &server{idx: idx}
+	s.searchers.New = func() interface{} { return idx.NewSearcher() }
+	return s
+}
+
+// handler returns the HTTP routing table:
+//
+//	GET  /healthz         liveness probe
+//	GET  /stats           index shape and parameters
+//	POST /search          {"vector": [...], "k": 10}
+//	POST /search_radius   {"vector": [...], "radius": 1.5}
+//	POST /vectors         {"vector": [...]} — appends, returns its id
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/search_radius", s.handleSearchRadius)
+	mux.HandleFunc("/vectors", s.handleAdd)
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+type statsResponse struct {
+	Vectors        int     `json:"vectors"`
+	Dim            int     `json:"dim"`
+	K              int     `json:"k"`
+	L              int     `json:"l"`
+	T              int     `json:"t"`
+	C              float64 `json:"c"`
+	W0             float64 `json:"w0"`
+	IndexSizeBytes int64   `json:"index_size_bytes"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.RLock()
+	p := s.idx.Params()
+	resp := statsResponse{
+		Vectors:        s.idx.Len(),
+		Dim:            s.idx.Dim(),
+		K:              p.K,
+		L:              p.L,
+		T:              p.T,
+		C:              p.C,
+		W0:             p.W0,
+		IndexSizeBytes: s.idx.IndexSizeBytes(),
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type searchRequest struct {
+	Vector []float32 `json:"vector"`
+	K      int       `json:"k"`
+	Radius float64   `json:"radius"`
+}
+
+type searchHit struct {
+	ID   int     `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+type searchResponse struct {
+	Results []searchHit `json:"results"`
+}
+
+func (s *server) decodeVector(w http.ResponseWriter, r *http.Request) (searchRequest, bool) {
+	var req searchRequest
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return req, false
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return req, false
+	}
+	if len(req.Vector) != s.idx.Dim() {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("vector has dim %d, index expects %d", len(req.Vector), s.idx.Dim()))
+		return req, false
+	}
+	return req, true
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeVector(w, r)
+	if !ok {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.K > 10_000 {
+		httpError(w, http.StatusBadRequest, "k too large (max 10000)")
+		return
+	}
+	s.mu.RLock()
+	searcher := s.searchers.Get().(*dblsh.Searcher)
+	hits := searcher.Search(req.Vector, req.K)
+	s.searchers.Put(searcher)
+	s.mu.RUnlock()
+
+	resp := searchResponse{Results: make([]searchHit, len(hits))}
+	for i, h := range hits {
+		resp.Results[i] = searchHit{ID: h.ID, Dist: h.Dist}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleSearchRadius(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeVector(w, r)
+	if !ok {
+		return
+	}
+	if req.Radius <= 0 {
+		httpError(w, http.StatusBadRequest, "radius must be positive")
+		return
+	}
+	s.mu.RLock()
+	searcher := s.searchers.Get().(*dblsh.Searcher)
+	hit, found := searcher.SearchRadius(req.Vector, req.Radius)
+	s.searchers.Put(searcher)
+	s.mu.RUnlock()
+
+	resp := searchResponse{}
+	if found {
+		resp.Results = []searchHit{{ID: hit.ID, Dist: hit.Dist}}
+	} else {
+		resp.Results = []searchHit{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type addResponse struct {
+	ID int `json:"id"`
+}
+
+func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeVector(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	id, err := s.idx.Add(req.Vector)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, addResponse{ID: id})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late to change the status; nothing more to do.
+		return
+	}
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

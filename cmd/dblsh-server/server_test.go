@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dblsh"
+)
+
+func testIndex(t *testing.T) *dblsh.Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	data := make([][]float32, 1000)
+	for i := range data {
+		v := make([]float32, 16)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64() * 5)
+		}
+		data[i] = v
+	}
+	idx, err := dblsh.New(data, dblsh.Options{K: 6, L: 3, T: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func testServer(t *testing.T) (*httptest.Server, *dblsh.Index) {
+	idx := testIndex(t)
+	ts := httptest.NewServer(newServer(idx).handler())
+	t.Cleanup(ts.Close)
+	return ts, idx
+}
+
+func postJSON(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode(t *testing.T, resp *http.Response, v interface{}) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestStats(t *testing.T) {
+	ts, idx := testServer(t)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	decode(t, resp, &st)
+	if st.Vectors != idx.Len() || st.Dim != 16 || st.L != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	ts, idx := testServer(t)
+	q := make([]float32, idx.Dim())
+	resp := postJSON(t, ts.URL+"/search", searchRequest{Vector: q, K: 7})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var sr searchResponse
+	decode(t, resp, &sr)
+	if len(sr.Results) != 7 {
+		t.Fatalf("got %d results", len(sr.Results))
+	}
+	prev := -1.0
+	for _, h := range sr.Results {
+		if h.Dist < prev {
+			t.Fatal("results not sorted")
+		}
+		prev = h.Dist
+	}
+}
+
+func TestSearchDefaultK(t *testing.T) {
+	ts, idx := testServer(t)
+	resp := postJSON(t, ts.URL+"/search", searchRequest{Vector: make([]float32, idx.Dim())})
+	var sr searchResponse
+	decode(t, resp, &sr)
+	if len(sr.Results) != 10 {
+		t.Fatalf("default k gave %d results", len(sr.Results))
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ts, _ := testServer(t)
+	// Wrong dimension.
+	resp := postJSON(t, ts.URL+"/search", searchRequest{Vector: []float32{1, 2}, K: 3})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-dim status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Bad JSON.
+	r2, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-json status %d", r2.StatusCode)
+	}
+	r2.Body.Close()
+	// Wrong method.
+	r3, err := http.Get(ts.URL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /search status %d", r3.StatusCode)
+	}
+	r3.Body.Close()
+	// Oversized k.
+	r4 := postJSON(t, ts.URL+"/search", searchRequest{Vector: make([]float32, 16), K: 1_000_000})
+	if r4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("huge-k status %d", r4.StatusCode)
+	}
+	r4.Body.Close()
+}
+
+func TestSearchRadius(t *testing.T) {
+	ts, idx := testServer(t)
+	q := make([]float32, idx.Dim())
+	// Huge radius: must find something.
+	resp := postJSON(t, ts.URL+"/search_radius", searchRequest{Vector: q, Radius: 1e6})
+	var sr searchResponse
+	decode(t, resp, &sr)
+	if len(sr.Results) != 1 {
+		t.Fatalf("huge radius found %d results", len(sr.Results))
+	}
+	// Nonpositive radius rejected.
+	r2 := postJSON(t, ts.URL+"/search_radius", searchRequest{Vector: q, Radius: 0})
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("zero radius status %d", r2.StatusCode)
+	}
+	r2.Body.Close()
+}
+
+func TestAddEndpoint(t *testing.T) {
+	ts, idx := testServer(t)
+	before := idx.Len()
+	v := make([]float32, idx.Dim())
+	for j := range v {
+		v[j] = 999
+	}
+	resp := postJSON(t, ts.URL+"/vectors", searchRequest{Vector: v})
+	var ar addResponse
+	decode(t, resp, &ar)
+	if ar.ID != before {
+		t.Fatalf("added id %d, want %d", ar.ID, before)
+	}
+	// The added vector is immediately searchable.
+	r2 := postJSON(t, ts.URL+"/search", searchRequest{Vector: v, K: 1})
+	var sr searchResponse
+	decode(t, r2, &sr)
+	if len(sr.Results) != 1 || sr.Results[0].ID != ar.ID || sr.Results[0].Dist != 0 {
+		t.Fatalf("added vector not found: %+v", sr.Results)
+	}
+}
+
+func TestConcurrentSearchAndAdd(t *testing.T) {
+	ts, idx := testServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if g%2 == 0 {
+					resp := postJSONQuiet(ts.URL+"/search", searchRequest{Vector: make([]float32, idx.Dim()), K: 3})
+					if resp != http.StatusOK {
+						errs <- fmt.Errorf("search status %d", resp)
+					}
+				} else {
+					v := make([]float32, idx.Dim())
+					v[0] = float32(g*100 + i)
+					resp := postJSONQuiet(ts.URL+"/vectors", searchRequest{Vector: v})
+					if resp != http.StatusOK {
+						errs <- fmt.Errorf("add status %d", resp)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func postJSONQuiet(url string, body interface{}) int {
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return -1
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestLoadIndexFromFile(t *testing.T) {
+	idx := testIndex(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.dblsh")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	loaded, err := loadIndex(path, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != idx.Len() || loaded.Dim() != idx.Dim() {
+		t.Fatalf("loaded shape %d×%d", loaded.Len(), loaded.Dim())
+	}
+}
+
+func TestLoadIndexDemo(t *testing.T) {
+	idx, err := loadIndex("", 500, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 500 || idx.Dim() != 8 {
+		t.Fatalf("demo shape %d×%d", idx.Len(), idx.Dim())
+	}
+}
+
+func TestLoadIndexMissingFile(t *testing.T) {
+	if _, err := loadIndex("/nonexistent/path.dblsh", 0, 0, 0); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,286 @@
+// Package dblsh provides fast high-dimensional approximate nearest neighbor
+// (ANN) search with probabilistic quality guarantees, implementing DB-LSH
+// ("DB-LSH: Locality-Sensitive Hashing with Query-based Dynamic Bucketing",
+// Tian, Zhao, Zhou — ICDE 2022).
+//
+// DB-LSH hashes every point into L low-dimensional projected spaces with
+// 2-stable random projections and indexes each projected space with an
+// R*-tree. Queries build *query-centric* hypercubic buckets on the fly —
+// window queries whose width grows geometrically with the search radius —
+// which removes the hash-boundary problem of classical LSH while keeping
+// sub-linear query cost: O(n^ρ* d log n) with ρ* ≤ 1/c^4.746 at the default
+// bucket width (Lemma 3 / Theorem 2 of the paper).
+//
+// # Quick start
+//
+//	data := [][]float32{...}            // your vectors, all the same length
+//	idx, err := dblsh.New(data, dblsh.Options{})
+//	if err != nil { ... }
+//	hits := idx.Search(query, 10)       // 10 approximate nearest neighbors
+//	for _, h := range hits {
+//	    fmt.Println(h.ID, h.Dist)       // index into data, Euclidean distance
+//	}
+//
+// The zero Options give the paper's defaults: approximation ratio c = 1.5,
+// initial bucket width w0 = 4c², L = 5 projected spaces, and K derived from
+// the dataset size. All randomness is seeded, so the same Options and data
+// always produce the same index and the same answers.
+package dblsh
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dblsh/internal/core"
+	"dblsh/internal/vec"
+)
+
+// Result is one retrieved neighbor: the index of the point in the data the
+// index was built over, and its Euclidean distance to the query.
+type Result struct {
+	ID   int
+	Dist float64
+}
+
+// Options configures index construction. The zero value is ready to use and
+// mirrors the paper's experimental defaults.
+type Options struct {
+	// C is the approximation ratio (> 1): returned points are c²-approximate
+	// nearest neighbors with constant probability (Theorem 1). Smaller C
+	// means better accuracy and more work per query. Default 1.5.
+	C float64
+
+	// W0 overrides the initial bucket width. Default 4C² (γ = 2), the
+	// operating point with bound exponent α = 4.746.
+	W0 float64
+
+	// K is the number of hash functions per projected space; 0 uses the
+	// paper's experimental setting (10, or 12 for datasets of 1M+ points).
+	K int
+
+	// L is the number of projected spaces (and R*-trees); 0 uses the
+	// paper's setting of 5.
+	L int
+
+	// T is the candidate constant: a (c,k)-ANN query verifies at most
+	// 2·T·L + k exact distances. Larger T trades time for accuracy.
+	// Default 100.
+	T int
+
+	// Seed makes hashing reproducible. The default 0 is a valid seed.
+	Seed int64
+
+	// EarlyStopFactor loosens the query-termination test: a query stops once
+	// its k-th candidate is within EarlyStopFactor·C·r of the current search
+	// radius r instead of C·r. Values above 1 stop earlier, trading recall
+	// for latency. 0 (or 1) reproduces the paper's Algorithm 2 exactly.
+	EarlyStopFactor float64
+}
+
+// Index answers approximate nearest neighbor queries over a fixed dataset.
+// It is safe for concurrent use.
+type Index struct {
+	inner *core.Index
+	dim   int
+}
+
+// New builds an index over data, copying the vectors into an internal
+// contiguous layout. All rows must have the same nonzero length.
+func New(data [][]float32, opts Options) (*Index, error) {
+	if len(data) == 0 {
+		return nil, errors.New("dblsh: empty dataset")
+	}
+	dim := len(data[0])
+	if dim == 0 {
+		return nil, errors.New("dblsh: zero-dimensional vectors")
+	}
+	m := vec.NewMatrix(len(data), dim)
+	for i, row := range data {
+		if len(row) != dim {
+			return nil, fmt.Errorf("dblsh: row %d has dimension %d, want %d", i, len(row), dim)
+		}
+		m.SetRow(i, row)
+	}
+	return NewFromFlat(m.Data(), len(data), dim, opts)
+}
+
+// NewFromFlat builds an index over n vectors of dimension dim stored
+// row-major in flat. The slice is used directly without copying; the caller
+// must not mutate it while the index is alive. len(flat) must equal n*dim.
+func NewFromFlat(flat []float32, n, dim int, opts Options) (*Index, error) {
+	if n <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("dblsh: invalid shape %d×%d", n, dim)
+	}
+	if len(flat) != n*dim {
+		return nil, fmt.Errorf("dblsh: flat data has %d values, want %d×%d = %d", len(flat), n, dim, n*dim)
+	}
+	if opts.C != 0 && opts.C <= 1 {
+		return nil, fmt.Errorf("dblsh: approximation ratio C must exceed 1, got %v", opts.C)
+	}
+	if opts.K < 0 || opts.L < 0 || opts.T < 0 {
+		return nil, errors.New("dblsh: K, L and T must be non-negative")
+	}
+	if opts.EarlyStopFactor < 0 || (opts.EarlyStopFactor > 0 && opts.EarlyStopFactor < 1) {
+		return nil, fmt.Errorf("dblsh: EarlyStopFactor must be ≥ 1 (or 0 for the default), got %v", opts.EarlyStopFactor)
+	}
+	m := vec.WrapMatrix(flat, n, dim)
+	inner := core.Build(m, core.Config{
+		C:               opts.C,
+		W0:              opts.W0,
+		K:               opts.K,
+		L:               opts.L,
+		T:               opts.T,
+		Seed:            opts.Seed,
+		EarlyStopFactor: opts.EarlyStopFactor,
+	})
+	return &Index{inner: inner, dim: dim}, nil
+}
+
+// Len returns the number of indexed vectors.
+func (idx *Index) Len() int { return idx.inner.Size() }
+
+// Dim returns the vector dimensionality.
+func (idx *Index) Dim() int { return idx.dim }
+
+// Search returns the k approximate nearest neighbors of q, sorted by
+// ascending distance. Fewer than k results are returned only when the
+// dataset is smaller than k. It panics if len(q) != Dim() or k <= 0,
+// mirroring slice-indexing semantics for programmer errors.
+func (idx *Index) Search(q []float32, k int) []Result {
+	nbs := idx.inner.KANN(q, k)
+	out := make([]Result, len(nbs))
+	for i, nb := range nbs {
+		out[i] = Result{ID: nb.ID, Dist: nb.Dist}
+	}
+	return out
+}
+
+// SearchOne returns the single approximate nearest neighbor of q.
+func (idx *Index) SearchOne(q []float32) (Result, bool) {
+	nb, ok := idx.inner.ANN(q)
+	return Result{ID: nb.ID, Dist: nb.Dist}, ok
+}
+
+// Searcher is a reusable per-goroutine query context. For query-heavy loops
+// it avoids the internal pool round-trip of Index.Search and exposes query
+// statistics.
+type Searcher struct {
+	inner *core.Searcher
+}
+
+// NewSearcher returns a searcher bound to the index. A Searcher must only be
+// used from one goroutine at a time.
+func (idx *Index) NewSearcher() *Searcher {
+	return &Searcher{inner: idx.inner.NewSearcher()}
+}
+
+// Search behaves like Index.Search on the bound index.
+func (s *Searcher) Search(q []float32, k int) []Result {
+	nbs := s.inner.KANN(q, k)
+	out := make([]Result, len(nbs))
+	for i, nb := range nbs {
+		out[i] = Result{ID: nb.ID, Dist: nb.Dist}
+	}
+	return out
+}
+
+// Stats describes the work done by the searcher's most recent query.
+type Stats struct {
+	// Candidates is the number of exact distance computations performed.
+	Candidates int
+	// Rounds is the number of (r,c)-NN radius levels visited (Algorithm 2).
+	Rounds int
+	// FinalRadius is the search radius at which the query terminated.
+	FinalRadius float64
+}
+
+// LastStats reports statistics for the most recent query on this searcher.
+func (s *Searcher) LastStats() Stats {
+	st := s.inner.LastStats()
+	return Stats{Candidates: st.Candidates, Rounds: st.Rounds, FinalRadius: st.FinalR}
+}
+
+// Params reports the effective index parameters after defaulting and
+// derivation.
+type Params struct {
+	C, W0 float64
+	K, L  int
+	T     int
+}
+
+// Params returns the parameters the index was built with.
+func (idx *Index) Params() Params {
+	cfg := idx.inner.Params()
+	return Params{C: cfg.C, W0: cfg.W0, K: cfg.K, L: cfg.L, T: cfg.T}
+}
+
+// IndexSizeBytes estimates the memory held by the projections and trees,
+// excluding the original vectors.
+func (idx *Index) IndexSizeBytes() int64 { return idx.inner.IndexSizeBytes() }
+
+// Add inserts a vector into the index and returns its id (the next row
+// number). Add must not be called concurrently with searches or other Adds;
+// quiesce queries first. Searchers created before an Add remain valid.
+func (idx *Index) Add(v []float32) (int, error) {
+	if len(v) != idx.dim {
+		return 0, fmt.Errorf("dblsh: vector dim %d, index dim %d", len(v), idx.dim)
+	}
+	return idx.inner.Insert(v), nil
+}
+
+// SearchBatch answers many queries in parallel across GOMAXPROCS workers,
+// each with its own Searcher. results[i] corresponds to queries[i]. It must
+// not run concurrently with Add or Delete.
+func (idx *Index) SearchBatch(queries [][]float32, k int) [][]Result {
+	out := make([][]Result, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			out[i] = idx.Search(q, k)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := idx.NewSearcher()
+			for i := range next {
+				out[i] = s.Search(queries[i], k)
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Delete removes vector id from future search results. The underlying
+// storage is tombstoned, not reclaimed — rebuild the index (New over the
+// surviving vectors) when Deleted() grows to a large fraction of Len().
+// Delete must not run concurrently with searches or mutations. It returns
+// false when id is out of range or already deleted.
+func (idx *Index) Delete(id int) bool { return idx.inner.Delete(id) }
+
+// Deleted returns the number of tombstoned vectors.
+func (idx *Index) Deleted() int { return idx.inner.Deleted() }
+
+// SearchRadius answers a single (r,c)-NN query (Algorithm 1 of the paper):
+// if some indexed point lies within distance r of q, it returns a point
+// within c·r with constant probability; if no point lies within c·r it
+// returns ok = false. It is the primitive Search's radius ladder is built
+// from, exposed for callers that know their target radius.
+func (s *Searcher) SearchRadius(q []float32, r float64) (Result, bool) {
+	nb, ok := s.inner.RNear(q, r)
+	return Result{ID: nb.ID, Dist: nb.Dist}, ok
+}

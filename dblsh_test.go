@@ -1,0 +1,216 @@
+package dblsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func clusteredData(n, d int, seed int64) ([][]float32, [][]float32) {
+	rng := rand.New(rand.NewSource(seed))
+	const clusters = 20
+	centers := make([][]float32, clusters)
+	for i := range centers {
+		c := make([]float32, d)
+		for j := range c {
+			c[j] = float32(rng.NormFloat64() * 10)
+		}
+		centers[i] = c
+	}
+	mk := func(count int) [][]float32 {
+		out := make([][]float32, count)
+		for i := range out {
+			c := centers[rng.Intn(clusters)]
+			p := make([]float32, d)
+			for j := range p {
+				p[j] = c[j] + float32(rng.NormFloat64())
+			}
+			out[i] = p
+		}
+		return out
+	}
+	return mk(n), mk(10)
+}
+
+func dist(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+	if _, err := New([][]float32{{}}, Options{}); err == nil {
+		t.Fatal("zero-dim vectors must error")
+	}
+	if _, err := New([][]float32{{1, 2}, {1}}, Options{}); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+	if _, err := New([][]float32{{1, 2}}, Options{C: 0.5}); err == nil {
+		t.Fatal("C ≤ 1 must error")
+	}
+	if _, err := NewFromFlat([]float32{1, 2, 3}, 2, 2, Options{}); err == nil {
+		t.Fatal("flat size mismatch must error")
+	}
+	if _, err := NewFromFlat([]float32{1, 2}, 0, 2, Options{}); err == nil {
+		t.Fatal("n = 0 must error")
+	}
+}
+
+func TestSearchBasics(t *testing.T) {
+	data, queries := clusteredData(3000, 32, 1)
+	idx, err := New(data, Options{K: 8, L: 4, T: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 3000 || idx.Dim() != 32 {
+		t.Fatalf("Len=%d Dim=%d", idx.Len(), idx.Dim())
+	}
+	for _, q := range queries {
+		hits := idx.Search(q, 5)
+		if len(hits) != 5 {
+			t.Fatalf("got %d hits", len(hits))
+		}
+		prev := -1.0
+		for _, h := range hits {
+			if h.ID < 0 || h.ID >= 3000 {
+				t.Fatalf("id %d out of range", h.ID)
+			}
+			if h.Dist < prev {
+				t.Fatal("hits not sorted")
+			}
+			prev = h.Dist
+			if got := dist(q, data[h.ID]); math.Abs(got-h.Dist) > 1e-9 {
+				t.Fatalf("distance mismatch: %v vs %v", h.Dist, got)
+			}
+		}
+	}
+}
+
+func TestSearchOne(t *testing.T) {
+	data, queries := clusteredData(1000, 16, 2)
+	idx, err := New(data, Options{K: 6, L: 3, T: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := idx.SearchOne(queries[0])
+	if !ok {
+		t.Fatal("SearchOne found nothing")
+	}
+	// Must be close to the true NN (c² guarantee, usually exact).
+	best := math.Inf(1)
+	for _, p := range data {
+		if d := dist(queries[0], p); d < best {
+			best = d
+		}
+	}
+	if r.Dist > 2.25*best+1e-9 {
+		t.Fatalf("SearchOne dist %v vs true NN %v breaks c² bound", r.Dist, best)
+	}
+}
+
+func TestSearcherStats(t *testing.T) {
+	data, queries := clusteredData(2000, 16, 3)
+	idx, err := New(data, Options{K: 8, L: 4, T: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := idx.NewSearcher()
+	hits := s.Search(queries[0], 5)
+	if len(hits) != 5 {
+		t.Fatalf("got %d hits", len(hits))
+	}
+	st := s.LastStats()
+	if st.Candidates <= 0 || st.Rounds <= 0 || st.FinalRadius <= 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+func TestParamsDefaulting(t *testing.T) {
+	data, _ := clusteredData(500, 8, 4)
+	idx, err := New(data, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := idx.Params()
+	if p.C != 1.5 {
+		t.Fatalf("default C = %v", p.C)
+	}
+	if p.W0 != 9 {
+		t.Fatalf("default W0 = %v", p.W0)
+	}
+	if p.K < 1 || p.L < 1 || p.T < 1 {
+		t.Fatalf("underived params %+v", p)
+	}
+	if idx.IndexSizeBytes() <= 0 {
+		t.Fatal("IndexSizeBytes must be positive")
+	}
+}
+
+func TestNewFromFlatSharesStorage(t *testing.T) {
+	flat := make([]float32, 100*8)
+	rng := rand.New(rand.NewSource(5))
+	for i := range flat {
+		flat[i] = float32(rng.NormFloat64())
+	}
+	idx, err := NewFromFlat(flat, 100, 8, Options{K: 4, L: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := flat[:8]
+	hits := idx.Search(q, 1)
+	if hits[0].ID != 0 || hits[0].Dist != 0 {
+		t.Fatalf("self-query returned %+v", hits[0])
+	}
+}
+
+func TestRecallEndToEnd(t *testing.T) {
+	data, queries := clusteredData(8000, 48, 6)
+	idx, err := New(data, Options{K: 10, L: 5, T: 100, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 10
+	var recall float64
+	for _, q := range queries {
+		hits := idx.Search(q, k)
+		// Brute-force truth.
+		type pair struct {
+			id int
+			d  float64
+		}
+		best := make([]pair, 0, len(data))
+		for i, p := range data {
+			best = append(best, pair{i, dist(q, p)})
+		}
+		for i := 0; i < k; i++ {
+			minJ := i
+			for j := i + 1; j < len(best); j++ {
+				if best[j].d < best[minJ].d {
+					minJ = j
+				}
+			}
+			best[i], best[minJ] = best[minJ], best[i]
+		}
+		truth := map[int]bool{}
+		for i := 0; i < k; i++ {
+			truth[best[i].id] = true
+		}
+		hit := 0
+		for _, h := range hits {
+			if truth[h.ID] {
+				hit++
+			}
+		}
+		recall += float64(hit) / float64(k)
+	}
+	recall /= float64(len(queries))
+	if recall < 0.85 {
+		t.Fatalf("end-to-end recall %v too low", recall)
+	}
+}

@@ -1,0 +1,112 @@
+package dblsh
+
+import "testing"
+
+func TestDeleteHidesVector(t *testing.T) {
+	data, _ := clusteredData(1000, 16, 41)
+	idx, err := New(data, Options{K: 6, L: 3, T: 30, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-query finds id 5 at distance 0.
+	hits := idx.Search(data[5], 1)
+	if hits[0].ID != 5 {
+		t.Fatalf("expected self-hit, got %+v", hits[0])
+	}
+	if !idx.Delete(5) {
+		t.Fatal("Delete(5) returned false")
+	}
+	if idx.Deleted() != 1 {
+		t.Fatalf("Deleted = %d", idx.Deleted())
+	}
+	hits = idx.Search(data[5], 5)
+	for _, h := range hits {
+		if h.ID == 5 {
+			t.Fatal("deleted vector still returned")
+		}
+	}
+}
+
+func TestDeleteIdempotentAndRangeChecked(t *testing.T) {
+	data, _ := clusteredData(100, 8, 42)
+	idx, err := New(data, Options{K: 4, L: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Delete(-1) || idx.Delete(100) {
+		t.Fatal("out-of-range Delete must return false")
+	}
+	if !idx.Delete(0) {
+		t.Fatal("first Delete must succeed")
+	}
+	if idx.Delete(0) {
+		t.Fatal("second Delete of same id must return false")
+	}
+}
+
+func TestDeleteAllThenSearch(t *testing.T) {
+	data, _ := clusteredData(50, 8, 43)
+	idx, err := New(data, Options{K: 4, L: 2, T: 100, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		idx.Delete(i)
+	}
+	if hits := idx.Search(data[0], 5); len(hits) != 0 {
+		t.Fatalf("search over fully-deleted index returned %v", hits)
+	}
+}
+
+func TestDeleteThenAdd(t *testing.T) {
+	data, _ := clusteredData(200, 8, 44)
+	idx, err := New(data, Options{K: 4, L: 2, T: 50, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Delete(7)
+	id, err := idx.Add(data[7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := idx.Search(data[7], 1)
+	if len(hits) != 1 || hits[0].ID != id || hits[0].Dist != 0 {
+		t.Fatalf("re-added vector not found: %+v", hits)
+	}
+}
+
+func TestEarlyStopFactorTradesRecallForSpeed(t *testing.T) {
+	data, queries := clusteredData(8000, 32, 45)
+	exact, err := New(data, Options{K: 8, L: 4, T: 100, Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := New(data, Options{K: 8, L: 4, T: 100, Seed: 45, EarlyStopFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, sg := exact.NewSearcher(), eager.NewSearcher()
+	var candExact, candEager int
+	for _, q := range queries {
+		se.Search(q, 10)
+		candExact += se.LastStats().Candidates
+		sg.Search(q, 10)
+		candEager += sg.LastStats().Candidates
+	}
+	if candEager > candExact {
+		t.Fatalf("early stop did not reduce work: %d vs %d candidates", candEager, candExact)
+	}
+}
+
+func TestEarlyStopFactorValidation(t *testing.T) {
+	data, _ := clusteredData(10, 4, 46)
+	if _, err := New(data, Options{EarlyStopFactor: 0.5}); err == nil {
+		t.Fatal("EarlyStopFactor in (0,1) must error")
+	}
+	if _, err := New(data, Options{EarlyStopFactor: -1}); err == nil {
+		t.Fatal("negative EarlyStopFactor must error")
+	}
+	if _, err := New(data, Options{EarlyStopFactor: 1}); err != nil {
+		t.Fatalf("EarlyStopFactor 1 must be accepted: %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+package dblsh
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the index-file parser: arbitrary bytes must produce an
+// error, never a panic or a runaway allocation. Run with
+// `go test -fuzz=FuzzRead`; without -fuzz the seed corpus below runs as a
+// regular test.
+func FuzzRead(f *testing.F) {
+	// Seed corpus: a valid file, a truncation, a bit flip, and junk.
+	data, _ := clusteredData(50, 4, 91)
+	idx, err := New(data, Options{K: 4, L: 2, Seed: 91})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if _, err := idx.WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:40])
+	flipped := append([]byte(nil), valid.Bytes()...)
+	flipped[20] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("DBLSHv1\n garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		loaded, err := Read(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Anything the parser accepts must be a usable index.
+		if loaded.Len() <= 0 || loaded.Dim() <= 0 {
+			t.Fatalf("accepted index with shape %d×%d", loaded.Len(), loaded.Dim())
+		}
+		q := make([]float32, loaded.Dim())
+		if res := loaded.Search(q, 1); len(res) != 1 {
+			t.Fatalf("accepted index cannot answer queries")
+		}
+	})
+}
+
+// FuzzSearch hardens the public query path against arbitrary (well-shaped)
+// vectors, including extreme values.
+func FuzzSearch(f *testing.F) {
+	data, _ := clusteredData(200, 4, 92)
+	idx, err := New(data, Options{K: 4, L: 2, T: 10, Seed: 92})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(float32(0), float32(0), float32(0), float32(0))
+	f.Add(float32(1e30), float32(-1e30), float32(1e-30), float32(0))
+	f.Fuzz(func(t *testing.T, a, b, c, d float32) {
+		if a != a || b != b || c != c || d != d {
+			t.Skip("NaN queries are out of contract")
+		}
+		res := idx.Search([]float32{a, b, c, d}, 3)
+		if len(res) == 0 || len(res) > 3 {
+			t.Fatalf("got %d results", len(res))
+		}
+	})
+}

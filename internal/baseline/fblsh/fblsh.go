@@ -1,0 +1,218 @@
+// Package fblsh implements FB-LSH, the paper's ablation baseline (Section
+// VI-A): the same single (K,L)-suite of 2-stable projections as DB-LSH, but
+// with *fixed* bucketing — at each radius r of the query ladder, the L
+// projected spaces are partitioned into a static grid of cells with side
+// w0·r, and a query inspects only the one cell its own hash falls in. The
+// difference to DB-LSH is exactly the hash-boundary problem: near neighbors
+// that land across a grid line are missed, whereas DB-LSH's query-centric
+// window always covers them.
+//
+// Grids for each radius level are built lazily on first use and cached, so a
+// query workload pays each level's O(nK) quantization once.
+package fblsh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"dblsh/internal/lsh"
+	"dblsh/internal/vec"
+)
+
+// Config mirrors core.Config for the shared parameters.
+type Config struct {
+	C             float64 // approximation ratio, default 1.5
+	W0            float64 // initial bucket width, default 4c²
+	T             int     // candidate constant, default 100
+	K             int     // hash functions per space (required)
+	L             int     // number of spaces (required)
+	Seed          int64
+	InitialRadius float64 // 0 estimates from data
+}
+
+// Index is an FB-LSH index.
+type Index struct {
+	data      *vec.Matrix
+	cfg       Config
+	family    *lsh.Family
+	projected []*vec.Matrix
+	r0        float64
+
+	mu     sync.Mutex
+	levels map[levelKey]map[cellKey][]int32
+}
+
+type levelKey struct {
+	space int
+	level int
+}
+
+// cellKey is the hash of a K-dim grid cell.
+type cellKey uint64
+
+// Build projects the data into L K-dimensional spaces. Grid levels
+// materialize lazily at query time.
+func Build(data *vec.Matrix, cfg Config) *Index {
+	if cfg.C <= 1 {
+		cfg.C = 1.5
+	}
+	if cfg.W0 <= 0 {
+		cfg.W0 = 4 * cfg.C * cfg.C
+	}
+	if cfg.T <= 0 {
+		cfg.T = 100
+	}
+	if cfg.K <= 0 || cfg.L <= 0 {
+		panic(fmt.Sprintf("fblsh: K and L required, got K=%d L=%d", cfg.K, cfg.L))
+	}
+	idx := &Index{
+		data:   data,
+		cfg:    cfg,
+		family: lsh.NewFamily(cfg.L, cfg.K, data.Dim(), cfg.Seed),
+		levels: make(map[levelKey]map[cellKey][]int32),
+	}
+	idx.projected = make([]*vec.Matrix, cfg.L)
+	for i := 0; i < cfg.L; i++ {
+		idx.projected[i] = idx.family.Compound(i).Project(data)
+	}
+	idx.r0 = cfg.InitialRadius
+	if idx.r0 <= 0 {
+		idx.r0 = estimateRadius(data, cfg.Seed)
+	}
+	return idx
+}
+
+func estimateRadius(data *vec.Matrix, seed int64) float64 {
+	n := data.Rows()
+	if n < 2 {
+		return 1
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x2c9277b5))
+	best := math.Inf(1)
+	for s := 0; s < 24; s++ {
+		qi := rng.Intn(n)
+		nn := math.Inf(1)
+		for p := 0; p < 512; p++ {
+			oi := rng.Intn(n)
+			if oi == qi {
+				continue
+			}
+			if d := vec.SquaredDist(data.Row(qi), data.Row(oi)); d < nn {
+				nn = d
+			}
+		}
+		if nn < best {
+			best = nn
+		}
+	}
+	r := math.Sqrt(best) / 4
+	if r <= 0 || math.IsInf(r, 1) {
+		return 1
+	}
+	return r
+}
+
+// Size returns the number of indexed points.
+func (idx *Index) Size() int { return idx.data.Rows() }
+
+// grid returns the cell map for (space, level), building it on first use.
+func (idx *Index) grid(space, level int, w float64) map[cellKey][]int32 {
+	key := levelKey{space, level}
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	if g, ok := idx.levels[key]; ok {
+		return g
+	}
+	proj := idx.projected[space]
+	g := make(map[cellKey][]int32, proj.Rows()/4+1)
+	for i := 0; i < proj.Rows(); i++ {
+		ck := cellOf(proj.Row(i), w)
+		g[ck] = append(g[ck], int32(i))
+	}
+	idx.levels[key] = g
+	return g
+}
+
+// cellOf maps a projected point to its grid cell at width w using an
+// FNV-style hash of the floor coordinates.
+func cellOf(p []float32, w float64) cellKey {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range p {
+		c := int64(math.Floor(float64(v) / w))
+		u := uint64(c)
+		for s := 0; s < 64; s += 8 {
+			h ^= (u >> uint(s)) & 0xff
+			h *= prime
+		}
+	}
+	return cellKey(h)
+}
+
+// KANN answers (c,k)-ANN with the same radius ladder and candidate budget as
+// DB-LSH, but looking up one fixed grid cell per space per level instead of
+// a query-centric window.
+func (idx *Index) KANN(q []float32, k int) []vec.Neighbor {
+	if len(q) != idx.data.Dim() {
+		panic(fmt.Sprintf("fblsh: query dim %d, index dim %d", len(q), idx.data.Dim()))
+	}
+	if k <= 0 {
+		panic("fblsh: k must be positive")
+	}
+	n := idx.data.Rows()
+	if n == 0 {
+		return nil
+	}
+	visited := make(map[int32]struct{}, 4*k)
+	qhash := make([][]float32, idx.cfg.L)
+	for i := range qhash {
+		qhash[i] = idx.family.Compound(i).Hash(nil, q)
+	}
+
+	cand := vec.NewTopK(k)
+	budget := 2*idx.cfg.T*idx.cfg.L + k
+	cnt := 0
+	c := idx.cfg.C
+	r := idx.r0
+	const maxLevels = 64 // ladder safety bound; windows reach dataset scale long before
+	for level := 0; level < maxLevels; level++ {
+		w := idx.cfg.W0 * r
+		done := false
+		for i := 0; i < idx.cfg.L && !done; i++ {
+			cell := idx.grid(i, level, w)[cellOf(qhash[i], w)]
+			for _, id := range cell {
+				if _, seen := visited[id]; seen {
+					continue
+				}
+				visited[id] = struct{}{}
+				dist := vec.Dist(q, idx.data.Row(int(id)))
+				cand.Push(int(id), dist)
+				cnt++
+				if cnt >= budget {
+					done = true
+					break
+				}
+				if worst, full := cand.Worst(); full && worst <= c*r {
+					done = true
+					break
+				}
+			}
+		}
+		if done {
+			break
+		}
+		if worst, full := cand.Worst(); full && worst <= c*r {
+			break
+		}
+		if cnt >= n {
+			break
+		}
+		r *= c
+	}
+	return cand.Results()
+}

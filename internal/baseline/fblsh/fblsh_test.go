@@ -1,0 +1,99 @@
+package fblsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"dblsh/internal/vec"
+)
+
+func clustered(n, d int, seed int64) *vec.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, 10)
+	for i := range centers {
+		c := make([]float32, d)
+		for j := range c {
+			c[j] = float32(rng.NormFloat64() * 10)
+		}
+		centers[i] = c
+	}
+	m := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		c := centers[rng.Intn(10)]
+		for j := 0; j < d; j++ {
+			m.Row(i)[j] = c[j] + float32(rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestCellOfConsistency(t *testing.T) {
+	p := []float32{1.2, -3.4, 5.6}
+	if cellOf(p, 2) != cellOf(p, 2) {
+		t.Fatal("cellOf not deterministic")
+	}
+	// Points in the same grid cell share a key.
+	a := []float32{0.1, 0.1}
+	b := []float32{0.9, 0.9}
+	if cellOf(a, 1) != cellOf(b, 1) {
+		t.Fatal("points in the same cell must share a key")
+	}
+	// Shifting by one cell width changes the key.
+	c := []float32{1.1, 0.1}
+	if cellOf(a, 1) == cellOf(c, 1) {
+		t.Fatal("adjacent cells should (overwhelmingly) differ")
+	}
+	// Negative coordinates floor toward −∞: −0.5 and +0.5 differ at w=1.
+	if cellOf([]float32{-0.5}, 1) == cellOf([]float32{0.5}, 1) {
+		t.Fatal("negative floor must separate cells around 0")
+	}
+}
+
+func TestGridLazyCaching(t *testing.T) {
+	data := clustered(500, 8, 1)
+	idx := Build(data, Config{C: 1.5, K: 4, L: 2, T: 10, Seed: 1})
+	if len(idx.levels) != 0 {
+		t.Fatalf("grids before query: %d", len(idx.levels))
+	}
+	idx.KANN(data.Row(0), 3)
+	if len(idx.levels) == 0 {
+		t.Fatal("query did not materialize any grid level")
+	}
+	before := len(idx.levels)
+	idx.KANN(data.Row(1), 3)
+	// A second similar query should mostly reuse cached levels.
+	if len(idx.levels) > 4*before+4 {
+		t.Fatalf("levels grew unexpectedly: %d -> %d", before, len(idx.levels))
+	}
+}
+
+func TestKANNFindsPlantedNeighbor(t *testing.T) {
+	data := clustered(2000, 16, 2)
+	idx := Build(data, Config{C: 1.5, K: 6, L: 4, T: 50, Seed: 2})
+	// Query exactly at a data point: FB-LSH must find it (distance 0 means
+	// identical hashes, so it is in the query's own cell at every level).
+	res := idx.KANN(data.Row(42), 1)
+	if len(res) != 1 || res[0].Dist != 0 {
+		t.Fatalf("self-query result %+v", res)
+	}
+}
+
+func TestBuildPanicsWithoutKL(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(vec.NewMatrix(1, 2), Config{})
+}
+
+func TestQueryPanics(t *testing.T) {
+	data := clustered(50, 8, 3)
+	idx := Build(data, Config{K: 4, L: 2, Seed: 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong dim")
+		}
+	}()
+	idx.KANN(make([]float32, 4), 1)
+}

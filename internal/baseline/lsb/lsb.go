@@ -1,0 +1,257 @@
+// Package lsb implements an LSB-Forest baseline (Tao et al., SIGMOD 2009),
+// the static query-oblivious (K,L)-index the DB-LSH paper compares against.
+//
+// Each of the L LSB-trees hashes every point with K bucketed 2-stable hashes
+// (Eq. 1), quantizes the K bucket numbers to a non-negative grid, interleaves
+// them into a Z-order code, and keeps the dataset sorted by that code. A
+// query locates its own Z-order position in each tree by binary search and
+// expands bidirectionally, always stepping to the side whose next code shares
+// the longer common prefix (LLCP) with the query's code — LSB's proxy for
+// bucket proximity. Candidates are verified in the original space under a
+// shared budget.
+//
+// Simplification vs. the paper: LSB-Forest's termination rule converts the
+// LLCP level to a search radius and stops when the k-th candidate beats it;
+// we keep that test but bound work with the same 2tL+k budget used by the
+// other baselines so all methods are compared at equal candidate cost.
+package lsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dblsh/internal/lsh"
+	"dblsh/internal/vec"
+	"dblsh/internal/zorder"
+)
+
+// Config parameterizes the forest.
+type Config struct {
+	// K is the number of bucketed hashes per tree. Default 12.
+	K int
+	// L is the number of trees. Default 5.
+	L int
+	// W is the bucket width of each hash. Default 16 (w = 4c² at c = 2,
+	// the LSB paper's setting).
+	W float64
+	// T is the candidate constant: at most 2tL+k points are verified.
+	// Default 100.
+	T int
+	// C is the approximation ratio for the early-termination test. LSB
+	// requires c ≥ 2; default 2.
+	C float64
+	// Seed drives hash sampling.
+	Seed int64
+}
+
+type tree struct {
+	fns   []lsh.Bucketed
+	codes []zorder.Code // sorted ascending
+	ids   []int32       // ids aligned with codes
+	mins  []int64       // per-dim minimum bucket number, for quantization
+	enc   *zorder.Encoder
+}
+
+// Index is an LSB-Forest.
+type Index struct {
+	data  *vec.Matrix
+	cfg   Config
+	trees []*tree
+}
+
+// Build constructs the forest: L independent Z-order-sorted hash files.
+func Build(data *vec.Matrix, cfg Config) *Index {
+	if cfg.K <= 0 {
+		cfg.K = 12
+	}
+	if cfg.L <= 0 {
+		cfg.L = 5
+	}
+	if cfg.W <= 0 {
+		cfg.W = 16
+	}
+	if cfg.T <= 0 {
+		cfg.T = 100
+	}
+	if cfg.C < 2 {
+		cfg.C = 2
+	}
+	idx := &Index{data: data, cfg: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := data.Rows()
+	for t := 0; t < cfg.L; t++ {
+		tr := &tree{fns: make([]lsh.Bucketed, cfg.K), mins: make([]int64, cfg.K)}
+		for j := range tr.fns {
+			tr.fns[j] = lsh.NewBucketed(data.Dim(), cfg.W, rng)
+		}
+		// First pass: bucket numbers and per-dim ranges.
+		buckets := make([][]int64, n)
+		maxRange := int64(0)
+		for j := 0; j < cfg.K; j++ {
+			tr.mins[j] = math.MaxInt64
+		}
+		for i := 0; i < n; i++ {
+			bs := make([]int64, cfg.K)
+			for j := 0; j < cfg.K; j++ {
+				bs[j] = tr.fns[j].Hash(data.Row(i))
+				if bs[j] < tr.mins[j] {
+					tr.mins[j] = bs[j]
+				}
+			}
+			buckets[i] = bs
+		}
+		if n == 0 {
+			for j := range tr.mins {
+				tr.mins[j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < cfg.K; j++ {
+				if r := buckets[i][j] - tr.mins[j]; r > maxRange {
+					maxRange = r
+				}
+			}
+		}
+		bits := 1
+		for (int64(1) << uint(bits)) <= maxRange {
+			bits++
+		}
+		if bits > 30 {
+			bits = 30
+		}
+		tr.enc = zorder.NewEncoder(cfg.K, bits)
+
+		// Second pass: encode and sort.
+		tr.codes = make([]zorder.Code, n)
+		tr.ids = make([]int32, n)
+		coords := make([]uint32, cfg.K)
+		limit := (int64(1) << uint(bits)) - 1
+		for i := 0; i < n; i++ {
+			tr.coordsInto(coords, buckets[i], limit)
+			tr.codes[i] = tr.enc.Encode(coords)
+			tr.ids[i] = int32(i)
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return zorder.Compare(tr.codes[order[a]], tr.codes[order[b]]) < 0
+		})
+		codes := make([]zorder.Code, n)
+		ids := make([]int32, n)
+		for pos, i := range order {
+			codes[pos] = tr.codes[i]
+			ids[pos] = tr.ids[i]
+		}
+		tr.codes, tr.ids = codes, ids
+		idx.trees = append(idx.trees, tr)
+	}
+	return idx
+}
+
+// coordsInto quantizes bucket numbers into the encoder's grid, clamping to
+// the grid bounds (relevant only for query points outside the data range).
+func (tr *tree) coordsInto(dst []uint32, buckets []int64, limit int64) {
+	for j := range dst {
+		v := buckets[j] - tr.mins[j]
+		if v < 0 {
+			v = 0
+		}
+		if v > limit {
+			v = limit
+		}
+		dst[j] = uint32(v)
+	}
+}
+
+// Size returns the number of indexed points.
+func (idx *Index) Size() int { return idx.data.Rows() }
+
+// KANN answers a (c,k)-ANN query. Safe for concurrent use.
+func (idx *Index) KANN(q []float32, k int) []vec.Neighbor {
+	if len(q) != idx.data.Dim() {
+		panic(fmt.Sprintf("lsb: query dim %d, index dim %d", len(q), idx.data.Dim()))
+	}
+	if k <= 0 {
+		panic("lsb: k must be positive")
+	}
+	n := idx.data.Rows()
+	if n == 0 {
+		return nil
+	}
+
+	type cursor struct {
+		tr          *tree
+		qcode       zorder.Code
+		left, right int // next positions to consume
+	}
+	cursors := make([]cursor, len(idx.trees))
+	coords := make([]uint32, idx.cfg.K)
+	buckets := make([]int64, idx.cfg.K)
+	for t, tr := range idx.trees {
+		for j := 0; j < idx.cfg.K; j++ {
+			buckets[j] = tr.fns[j].Hash(q)
+		}
+		limit := (int64(1) << uint(tr.enc.Bits()/idx.cfg.K)) - 1
+		tr.coordsInto(coords, buckets, limit)
+		qc := tr.enc.Encode(coords)
+		pos := sort.Search(len(tr.codes), func(i int) bool {
+			return zorder.Compare(tr.codes[i], qc) >= 0
+		})
+		cursors[t] = cursor{tr: tr, qcode: qc, left: pos - 1, right: pos}
+	}
+
+	visited := make(map[int32]struct{}, 4*k)
+	cand := vec.NewTopK(k)
+	budget := 2*idx.cfg.T*idx.cfg.L + k
+	cnt := 0
+
+	verify := func(id int32) {
+		if _, seen := visited[id]; seen {
+			return
+		}
+		visited[id] = struct{}{}
+		cand.Push(int(id), vec.Dist(q, idx.data.Row(int(id))))
+		cnt++
+	}
+
+	// Round-robin over trees; within a tree, step toward the side with the
+	// larger LLCP. Stop on budget or when every cursor is exhausted.
+	for cnt < budget {
+		progressed := false
+		for i := range cursors {
+			cu := &cursors[i]
+			tr := cu.tr
+			lOK := cu.left >= 0
+			rOK := cu.right < len(tr.codes)
+			if !lOK && !rOK {
+				continue
+			}
+			progressed = true
+			var takeRight bool
+			switch {
+			case lOK && rOK:
+				takeRight = tr.enc.LLCP(cu.qcode, tr.codes[cu.right]) >= tr.enc.LLCP(cu.qcode, tr.codes[cu.left])
+			case rOK:
+				takeRight = true
+			}
+			if takeRight {
+				verify(tr.ids[cu.right])
+				cu.right++
+			} else {
+				verify(tr.ids[cu.left])
+				cu.left--
+			}
+			if cnt >= budget {
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return cand.Results()
+}

@@ -1,0 +1,103 @@
+package lsb
+
+import (
+	"math/rand"
+	"testing"
+
+	"dblsh/internal/vec"
+	"dblsh/internal/zorder"
+)
+
+func clustered(n, d int, seed int64) *vec.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, 8)
+	for i := range centers {
+		c := make([]float32, d)
+		for j := range c {
+			c[j] = float32(rng.NormFloat64() * 10)
+		}
+		centers[i] = c
+	}
+	m := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		c := centers[rng.Intn(8)]
+		for j := 0; j < d; j++ {
+			m.Row(i)[j] = c[j] + float32(rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestCodesSorted(t *testing.T) {
+	data := clustered(3000, 16, 1)
+	idx := Build(data, Config{K: 8, L: 3, T: 20, Seed: 1})
+	for ti, tr := range idx.trees {
+		for i := 1; i < len(tr.codes); i++ {
+			if zorder.Compare(tr.codes[i-1], tr.codes[i]) > 0 {
+				t.Fatalf("tree %d: codes out of order at %d", ti, i)
+			}
+		}
+		if len(tr.ids) != data.Rows() {
+			t.Fatalf("tree %d: %d ids", ti, len(tr.ids))
+		}
+	}
+}
+
+func TestSelfQueryFindsSelf(t *testing.T) {
+	data := clustered(2000, 16, 2)
+	idx := Build(data, Config{K: 8, L: 3, T: 50, Seed: 2})
+	res := idx.KANN(data.Row(77), 1)
+	if len(res) != 1 || res[0].Dist != 0 {
+		t.Fatalf("self-query result %+v", res)
+	}
+}
+
+func TestOutOfRangeQueryClamped(t *testing.T) {
+	// A query far outside the data range must not panic and must still
+	// return budget-many candidates (coordinates clamp to the grid edge).
+	data := clustered(500, 8, 3)
+	idx := Build(data, Config{K: 6, L: 2, T: 10, Seed: 3})
+	q := make([]float32, 8)
+	for j := range q {
+		q[j] = 1e6
+	}
+	res := idx.KANN(q, 5)
+	if len(res) != 5 {
+		t.Fatalf("got %d results", len(res))
+	}
+}
+
+func TestBudgetExpansion(t *testing.T) {
+	data := clustered(5000, 16, 4)
+	small := Build(data, Config{K: 8, L: 3, T: 2, Seed: 4})
+	large := Build(data, Config{K: 8, L: 3, T: 200, Seed: 4})
+	q := clustered(1, 16, 5).Row(0)
+	rs := small.KANN(q, 10)
+	rl := large.KANN(q, 10)
+	if len(rs) == 0 || len(rl) == 0 {
+		t.Fatal("empty results")
+	}
+	// The larger budget can only improve (or tie) the k-th distance.
+	if rl[len(rl)-1].Dist > rs[len(rs)-1].Dist+1e-9 {
+		t.Fatalf("larger budget produced worse k-th distance: %v vs %v",
+			rl[len(rl)-1].Dist, rs[len(rs)-1].Dist)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	data := clustered(100, 8, 6)
+	idx := Build(data, Config{Seed: 6})
+	if idx.cfg.K != 12 || idx.cfg.L != 5 || idx.cfg.W != 16 || idx.cfg.C != 2 {
+		t.Fatalf("defaults not applied: %+v", idx.cfg)
+	}
+	if idx.Size() != 100 {
+		t.Fatalf("Size = %d", idx.Size())
+	}
+}
+
+func TestEmptyData(t *testing.T) {
+	idx := Build(vec.NewMatrix(0, 8), Config{Seed: 7})
+	if res := idx.KANN(make([]float32, 8), 3); len(res) != 0 {
+		t.Fatalf("empty data returned %v", res)
+	}
+}

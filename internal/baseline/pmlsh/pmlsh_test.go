@@ -1,0 +1,91 @@
+package pmlsh
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dblsh/internal/vec"
+)
+
+func clustered(n, d int, seed int64) *vec.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, 8)
+	for i := range centers {
+		c := make([]float32, d)
+		for j := range c {
+			c[j] = float32(rng.NormFloat64() * 10)
+		}
+		centers[i] = c
+	}
+	m := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		c := centers[rng.Intn(8)]
+		for j := 0; j < d; j++ {
+			m.Row(i)[j] = c[j] + float32(rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestBetaOneIsNearExact(t *testing.T) {
+	// With β = 1 every point is verified, so results equal exact k-NN.
+	data := clustered(1000, 16, 1)
+	idx := Build(data, Config{M: 15, Beta: 1, Seed: 1})
+	q := data.Row(3)
+	res := idx.KANN(q, 10)
+
+	dists := make([]float64, data.Rows())
+	for i := range dists {
+		dists[i] = vec.Dist(q, data.Row(i))
+	}
+	sort.Float64s(dists)
+	for i, nb := range res {
+		if nb.Dist != dists[i] {
+			t.Fatalf("rank %d: %v, want %v", i, nb.Dist, dists[i])
+		}
+	}
+}
+
+func TestProjectedOrderIsGoodCandidateOrder(t *testing.T) {
+	// With a small β, PM-LSH must still place the exact NN first for a
+	// self-query (projected distance 0 is visited first).
+	data := clustered(5000, 32, 2)
+	idx := Build(data, Config{M: 15, Beta: 0.02, Seed: 2})
+	res := idx.KANN(data.Row(11), 1)
+	if len(res) != 1 || res[0].ID != 11 || res[0].Dist != 0 {
+		t.Fatalf("self-query result %+v", res)
+	}
+}
+
+func TestCandidatesFormula(t *testing.T) {
+	data := clustered(2000, 8, 3)
+	idx := Build(data, Config{M: 10, Beta: 0.25, Seed: 3})
+	if got := idx.Candidates(7); got != 500+7 {
+		t.Fatalf("Candidates = %d", got)
+	}
+	if idx.Size() != 2000 {
+		t.Fatalf("Size = %d", idx.Size())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	data := clustered(100, 8, 4)
+	idx := Build(data, Config{Seed: 4})
+	if idx.cfg.M != 15 || idx.cfg.Beta != 0.08 || idx.cfg.C != 1.5 {
+		t.Fatalf("defaults not applied: %+v", idx.cfg)
+	}
+}
+
+func TestEmptyAndPanics(t *testing.T) {
+	idx := Build(vec.NewMatrix(0, 8), Config{Seed: 5})
+	if res := idx.KANN(make([]float32, 8), 3); len(res) != 0 {
+		t.Fatalf("empty data returned %v", res)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	idx.KANN(make([]float32, 8), 0)
+}

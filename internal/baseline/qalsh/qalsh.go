@@ -1,0 +1,274 @@
+// Package qalsh implements QALSH (Huang et al., PVLDB 2015), the
+// representative of the collision-counting (C2) family the DB-LSH paper
+// compares against (QALSH / R2LSH / VHP share this access pattern).
+//
+// Indexing: M independent 1-D projections h_j(o) = a_j·o, each indexed by a
+// B+-tree over (projection value, id).
+//
+// Query ("virtual rehashing"): rounds with radius R = r0, c·r0, c²·r0, …
+// In a round, each dimension's query-centric 1-D bucket
+// [h_j(q) − wR/2, h_j(q) + wR/2] is expanded by walking the B+-tree outward
+// from h_j(q); every point seen increments a collision counter, and a point
+// whose counter reaches the threshold ℓ becomes a candidate and is verified
+// with an exact distance. The search region is a cross-like union of slabs —
+// unbounded in the other dimensions — which is exactly the cost DB-LSH's
+// Figure 2 criticizes.
+package qalsh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dblsh/internal/bptree"
+	"dblsh/internal/lsh"
+	"dblsh/internal/mathx"
+	"dblsh/internal/vec"
+)
+
+// Config parameterizes QALSH.
+type Config struct {
+	// C is the approximation ratio (> 1). Default 1.5.
+	C float64
+	// W is the bucket width of the 1-D query-aware buckets. Default 2.719,
+	// the w* the QALSH paper recommends for c = 2-ish regimes.
+	W float64
+	// M is the number of hash functions (projections). 0 derives
+	// m = O(log n) following the QALSH error-bound setup.
+	M int
+	// Beta scales the candidate budget: βn + k candidates are verified.
+	// Default 100/n (i.e. 100 + k candidates), QALSH's usual setting.
+	Beta float64
+	// Seed drives projection sampling.
+	Seed int64
+	// InitialRadius is the ladder start; 0 estimates from data.
+	InitialRadius float64
+}
+
+// Index is a QALSH index.
+type Index struct {
+	data  *vec.Matrix
+	cfg   Config
+	projs []lsh.Projection
+	trees []*bptree.Tree
+	ell   int // collision threshold ℓ
+	r0    float64
+}
+
+// Build projects the dataset M times and builds one B+-tree per projection.
+func Build(data *vec.Matrix, cfg Config) *Index {
+	n := data.Rows()
+	if cfg.C <= 1 {
+		cfg.C = 1.5
+	}
+	if cfg.W <= 0 {
+		cfg.W = 2.719
+	}
+	if cfg.M <= 0 {
+		// QALSH sets m from Chernoff bounds; m ≈ ⌈8 ln n⌉ lands in the
+		// 60–90 range the paper uses for million-scale data.
+		m := int(math.Ceil(8 * math.Log(float64(n)+2)))
+		if m < 8 {
+			m = 8
+		}
+		cfg.M = m
+	}
+	if cfg.Beta <= 0 {
+		if n > 0 {
+			cfg.Beta = 100 / float64(n)
+		} else {
+			cfg.Beta = 0.01
+		}
+	}
+	idx := &Index{data: data, cfg: cfg}
+
+	// Collision threshold ℓ = α·m with α between p2 and p1 (QALSH §4.2:
+	// α = (p1+p2)/2 balances false positives and negatives).
+	p1 := mathx.CollisionProbDynamic(1, cfg.W)
+	p2 := mathx.CollisionProbDynamic(cfg.C, cfg.W)
+	alpha := (p1 + p2) / 2
+	idx.ell = int(math.Ceil(alpha * float64(cfg.M)))
+	if idx.ell < 1 {
+		idx.ell = 1
+	}
+	if idx.ell > cfg.M {
+		idx.ell = cfg.M
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx.projs = make([]lsh.Projection, cfg.M)
+	idx.trees = make([]*bptree.Tree, cfg.M)
+	for j := 0; j < cfg.M; j++ {
+		idx.projs[j] = lsh.NewProjection(data.Dim(), rng)
+		pairs := make([]bptree.Pair, n)
+		for i := 0; i < n; i++ {
+			pairs[i] = bptree.Pair{Key: idx.projs[j].Hash(data.Row(i)), Val: int32(i)}
+		}
+		idx.trees[j] = bptree.Bulk(pairs)
+	}
+
+	idx.r0 = cfg.InitialRadius
+	if idx.r0 <= 0 {
+		idx.r0 = estimateRadius(data, cfg.Seed)
+	}
+	return idx
+}
+
+func estimateRadius(data *vec.Matrix, seed int64) float64 {
+	n := data.Rows()
+	if n < 2 {
+		return 1
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x11d4f2a7))
+	best := math.Inf(1)
+	for s := 0; s < 24; s++ {
+		qi := rng.Intn(n)
+		nn := math.Inf(1)
+		for p := 0; p < 512; p++ {
+			oi := rng.Intn(n)
+			if oi == qi {
+				continue
+			}
+			if d := vec.SquaredDist(data.Row(qi), data.Row(oi)); d < nn {
+				nn = d
+			}
+		}
+		if nn < best {
+			best = nn
+		}
+	}
+	r := math.Sqrt(best) / 4
+	if r <= 0 || math.IsInf(r, 1) {
+		return 1
+	}
+	return r
+}
+
+// Size returns the number of indexed points.
+func (idx *Index) Size() int { return idx.data.Rows() }
+
+// Threshold returns the collision threshold ℓ.
+func (idx *Index) Threshold() int { return idx.ell }
+
+// M returns the number of projections.
+func (idx *Index) M() int { return idx.cfg.M }
+
+// KANN answers a (c,k)-ANN query with collision counting and virtual
+// rehashing. Safe for concurrent use (all state is per-call).
+func (idx *Index) KANN(q []float32, k int) []vec.Neighbor {
+	if len(q) != idx.data.Dim() {
+		panic(fmt.Sprintf("qalsh: query dim %d, index dim %d", len(q), idx.data.Dim()))
+	}
+	if k <= 0 {
+		panic("qalsh: k must be positive")
+	}
+	n := idx.data.Rows()
+	if n == 0 {
+		return nil
+	}
+
+	qh := make([]float64, idx.cfg.M)
+	left := make([]bptree.Iterator, idx.cfg.M)
+	right := make([]bptree.Iterator, idx.cfg.M)
+	for j := range qh {
+		qh[j] = idx.projs[j].Hash(q)
+		left[j] = idx.trees[j].SeekBefore(qh[j])
+		right[j] = idx.trees[j].Seek(qh[j])
+	}
+
+	counts := make(map[int32]int, 1024)
+	verified := make(map[int32]struct{}, 256)
+	cand := vec.NewTopK(k)
+	budget := int(idx.cfg.Beta*float64(n)) + k
+	if budget < k {
+		budget = k
+	}
+	cnt := 0
+	c := idx.cfg.C
+	R := idx.r0
+
+	// bump registers one collision. The distance test ("T2": k-th candidate
+	// within c·R) is evaluated at round boundaries, as in QALSH's Algorithm 2
+	// — checking it mid-round would truncate exactly the round in which the
+	// true neighbors cross the collision threshold. Only the candidate
+	// budget ("T1") aborts a round eagerly.
+	bump := func(id int32) bool {
+		counts[id]++
+		if counts[id] != idx.ell {
+			return true
+		}
+		if _, done := verified[id]; done {
+			return true
+		}
+		verified[id] = struct{}{}
+		cand.Push(int(id), vec.Dist(q, idx.data.Row(int(id))))
+		cnt++
+		return cnt < budget
+	}
+
+	const maxRounds = 64
+	for round := 0; round < maxRounds; round++ {
+		half := idx.cfg.W * R / 2
+		stop := false
+		for j := 0; j < idx.cfg.M && !stop; j++ {
+			// Expand right: keys in (q_j, q_j + half].
+			for right[j].Valid() && right[j].Key() <= qh[j]+half {
+				if !bump(right[j].Val()) {
+					stop = true
+					break
+				}
+				right[j] = right[j].Next()
+			}
+			if stop {
+				break
+			}
+			// Expand left: keys in [q_j − half, q_j).
+			for left[j].Valid() && left[j].Key() >= qh[j]-half {
+				if !bump(left[j].Val()) {
+					stop = true
+					break
+				}
+				left[j] = left[j].Prev()
+			}
+		}
+		if stop {
+			break
+		}
+		if worst, full := cand.Worst(); full && worst <= c*R {
+			break
+		}
+		if len(verified) >= n {
+			break
+		}
+		// All iterators exhausted means every point collided everywhere.
+		allDone := true
+		for j := range left {
+			if left[j].Valid() || right[j].Valid() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		R *= c
+	}
+
+	// If collision counting starved the candidate set (fewer than k points
+	// ever reached ℓ collisions), pad from the most-collided points.
+	if cand.Len() < k && cand.Len() < n {
+		for id, ct := range counts {
+			if ct >= idx.ell {
+				continue
+			}
+			if _, done := verified[id]; done {
+				continue
+			}
+			cand.Push(int(id), vec.Dist(q, idx.data.Row(int(id))))
+			if cand.Len() >= k {
+				break
+			}
+		}
+	}
+	return cand.Results()
+}

@@ -1,0 +1,113 @@
+package qalsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dblsh/internal/mathx"
+	"dblsh/internal/vec"
+)
+
+func clustered(n, d int, seed int64) *vec.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, 8)
+	for i := range centers {
+		c := make([]float32, d)
+		for j := range c {
+			c[j] = float32(rng.NormFloat64() * 10)
+		}
+		centers[i] = c
+	}
+	m := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		c := centers[rng.Intn(8)]
+		for j := 0; j < d; j++ {
+			m.Row(i)[j] = c[j] + float32(rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestDerivedThreshold(t *testing.T) {
+	data := clustered(5000, 16, 1)
+	idx := Build(data, Config{C: 1.5, Seed: 1})
+	// ℓ = ⌈α·m⌉ with α = (p1+p2)/2 for the default w = 2.719.
+	p1 := mathx.CollisionProbDynamic(1, 2.719)
+	p2 := mathx.CollisionProbDynamic(1.5, 2.719)
+	want := int(math.Ceil((p1 + p2) / 2 * float64(idx.M())))
+	if idx.Threshold() != want {
+		t.Fatalf("ℓ = %d, want %d", idx.Threshold(), want)
+	}
+	// m ≈ 8·ln n.
+	if idx.M() < 60 || idx.M() > 80 {
+		t.Fatalf("derived m = %d outside the expected band", idx.M())
+	}
+}
+
+func TestSelfQueryPerfect(t *testing.T) {
+	data := clustered(3000, 16, 2)
+	idx := Build(data, Config{C: 1.5, Beta: 0.1, Seed: 2})
+	res := idx.KANN(data.Row(7), 1)
+	if len(res) != 1 || res[0].Dist != 0 {
+		t.Fatalf("self-query result %+v", res)
+	}
+}
+
+func TestBudgetCapsVerification(t *testing.T) {
+	data := clustered(4000, 16, 3)
+	idx := Build(data, Config{C: 1.5, Beta: 0.005, Seed: 3}) // budget 20+k
+	res := idx.KANN(data.Row(0), 5)
+	if len(res) == 0 {
+		t.Fatal("no results under tight budget")
+	}
+}
+
+func TestExhaustsOnTinyData(t *testing.T) {
+	data := clustered(30, 8, 4)
+	idx := Build(data, Config{C: 1.5, Beta: 1, Seed: 4})
+	res := idx.KANN(data.Row(0), 50)
+	if len(res) > 30 {
+		t.Fatalf("returned %d results from 30 points", len(res))
+	}
+	if len(res) < 20 {
+		t.Fatalf("with β=1 nearly all points should be returned, got %d", len(res))
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	data := vec.NewMatrix(200, 8)
+	for i := 0; i < 200; i++ {
+		for j := 0; j < 8; j++ {
+			data.Row(i)[j] = 1
+		}
+	}
+	idx := Build(data, Config{C: 1.5, Beta: 1, Seed: 5})
+	res := idx.KANN(data.Row(0), 10)
+	if len(res) != 10 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for _, nb := range res {
+		if nb.Dist != 0 {
+			t.Fatalf("duplicate at dist %v", nb.Dist)
+		}
+	}
+}
+
+func TestQueryDimPanics(t *testing.T) {
+	data := clustered(100, 8, 6)
+	idx := Build(data, Config{Seed: 6})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	idx.KANN(make([]float32, 4), 1)
+}
+
+func TestEmptyData(t *testing.T) {
+	idx := Build(vec.NewMatrix(0, 8), Config{Seed: 7})
+	if res := idx.KANN(make([]float32, 8), 5); len(res) != 0 {
+		t.Fatalf("empty data returned %v", res)
+	}
+}

@@ -1,0 +1,301 @@
+// Package r2lsh implements R2LSH (Lu & Kudo, ICDE 2020), the C2-family
+// competitor that improves QALSH by mapping data into m *two-dimensional*
+// projected spaces instead of m one-dimensional ones.
+//
+// In each 2D space the query grows a query-centric disk of radius w·R/2; a
+// point "collides" in that space when its 2D projection falls inside the
+// disk. Compared to QALSH's 1-D slab, the disk is a strictly tighter region
+// (a slab admits points arbitrarily far along the other axis), so collisions
+// carry more signal and fewer counting rounds are wasted — the improvement
+// the DB-LSH paper credits R2LSH with, while still inheriting the C2
+// family's unbounded union-of-slabs scan cost.
+//
+// Implementation: per space, a B+-tree over the first coordinate provides
+// the incremental slab expansion; the second coordinate is checked against
+// the disk before counting. Collision counting and virtual rehashing follow
+// QALSH.
+package r2lsh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dblsh/internal/bptree"
+	"dblsh/internal/lsh"
+	"dblsh/internal/mathx"
+	"dblsh/internal/vec"
+)
+
+// Config parameterizes R2LSH.
+type Config struct {
+	// C is the approximation ratio. Default 1.5.
+	C float64
+	// W is the per-space bucket diameter. Default 2.719 (as in QALSH; the
+	// R2LSH paper tunes an equivalent λ).
+	W float64
+	// M is the number of 2D projected spaces. 0 derives m = O(log n)/2
+	// (each space carries two projections' worth of signal).
+	M int
+	// Beta scales the verification budget βn + k. Default 100/n.
+	Beta float64
+	// Seed drives projection sampling.
+	Seed int64
+	// InitialRadius is the ladder start; 0 estimates from data.
+	InitialRadius float64
+}
+
+type space struct {
+	px, py lsh.Projection
+	xs, ys []float64 // projected coordinates per id
+	tree   *bptree.Tree
+}
+
+// Index is an R2LSH index.
+type Index struct {
+	data   *vec.Matrix
+	cfg    Config
+	spaces []space
+	ell    int
+	r0     float64
+}
+
+// Build projects the dataset into M 2D spaces and builds one B+-tree per
+// space over the first coordinate.
+func Build(data *vec.Matrix, cfg Config) *Index {
+	n := data.Rows()
+	if cfg.C <= 1 {
+		cfg.C = 1.5
+	}
+	if cfg.W <= 0 {
+		cfg.W = 2.719
+	}
+	if cfg.M <= 0 {
+		m := int(math.Ceil(4 * math.Log(float64(n)+2)))
+		if m < 6 {
+			m = 6
+		}
+		cfg.M = m
+	}
+	if cfg.Beta <= 0 {
+		if n > 0 {
+			cfg.Beta = 100 / float64(n)
+		} else {
+			cfg.Beta = 0.01
+		}
+	}
+	idx := &Index{data: data, cfg: cfg}
+
+	// Collision threshold ℓ = α·m, α between the disk-membership
+	// probabilities at distances 1 and c. For a 2D 2-stable projection the
+	// disk-collision probability is bounded by the product of two 1-D
+	// window probabilities; the (p1+p2)/2 midpoint works as in QALSH.
+	p1 := mathx.CollisionProbDynamic(1, cfg.W)
+	p2 := mathx.CollisionProbDynamic(cfg.C, cfg.W)
+	alpha := (p1*p1 + p2*p2) / 2
+	idx.ell = int(math.Ceil(alpha * float64(cfg.M)))
+	if idx.ell < 1 {
+		idx.ell = 1
+	}
+	if idx.ell > cfg.M {
+		idx.ell = cfg.M
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx.spaces = make([]space, cfg.M)
+	for s := range idx.spaces {
+		sp := space{
+			px: lsh.NewProjection(data.Dim(), rng),
+			py: lsh.NewProjection(data.Dim(), rng),
+			xs: make([]float64, n),
+			ys: make([]float64, n),
+		}
+		pairs := make([]bptree.Pair, n)
+		for i := 0; i < n; i++ {
+			sp.xs[i] = sp.px.Hash(data.Row(i))
+			sp.ys[i] = sp.py.Hash(data.Row(i))
+			pairs[i] = bptree.Pair{Key: sp.xs[i], Val: int32(i)}
+		}
+		sp.tree = bptree.Bulk(pairs)
+		idx.spaces[s] = sp
+	}
+
+	idx.r0 = cfg.InitialRadius
+	if idx.r0 <= 0 {
+		idx.r0 = estimateRadius(data, cfg.Seed)
+	}
+	return idx
+}
+
+func estimateRadius(data *vec.Matrix, seed int64) float64 {
+	n := data.Rows()
+	if n < 2 {
+		return 1
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x3fb117))
+	best := math.Inf(1)
+	for s := 0; s < 24; s++ {
+		qi := rng.Intn(n)
+		nn := math.Inf(1)
+		for p := 0; p < 512; p++ {
+			oi := rng.Intn(n)
+			if oi == qi {
+				continue
+			}
+			if d := vec.SquaredDist(data.Row(qi), data.Row(oi)); d < nn {
+				nn = d
+			}
+		}
+		if nn < best {
+			best = nn
+		}
+	}
+	r := math.Sqrt(best) / 4
+	if r <= 0 || math.IsInf(r, 1) {
+		return 1
+	}
+	return r
+}
+
+// Size returns the number of indexed points.
+func (idx *Index) Size() int { return idx.data.Rows() }
+
+// M returns the number of 2D projected spaces.
+func (idx *Index) M() int { return idx.cfg.M }
+
+// Threshold returns the collision threshold ℓ.
+func (idx *Index) Threshold() int { return idx.ell }
+
+// KANN answers a (c,k)-ANN query via 2D disk collision counting with
+// virtual rehashing. Safe for concurrent use.
+func (idx *Index) KANN(q []float32, k int) []vec.Neighbor {
+	if len(q) != idx.data.Dim() {
+		panic(fmt.Sprintf("r2lsh: query dim %d, index dim %d", len(q), idx.data.Dim()))
+	}
+	if k <= 0 {
+		panic("r2lsh: k must be positive")
+	}
+	n := idx.data.Rows()
+	if n == 0 {
+		return nil
+	}
+
+	m := idx.cfg.M
+	qx := make([]float64, m)
+	qy := make([]float64, m)
+	left := make([]bptree.Iterator, m)
+	right := make([]bptree.Iterator, m)
+	for s := range idx.spaces {
+		qx[s] = idx.spaces[s].px.Hash(q)
+		qy[s] = idx.spaces[s].py.Hash(q)
+		left[s] = idx.spaces[s].tree.SeekBefore(qx[s])
+		right[s] = idx.spaces[s].tree.Seek(qx[s])
+	}
+
+	counts := make(map[int32]int, 1024)
+	verified := make(map[int32]struct{}, 256)
+	cand := vec.NewTopK(k)
+	budget := int(idx.cfg.Beta*float64(n)) + k
+	if budget < k {
+		budget = k
+	}
+	cnt := 0
+	c := idx.cfg.C
+	R := idx.r0
+
+	// bump counts a 2D disk collision; the distance-based stop (T2) is
+	// checked at round boundaries as in QALSH.
+	bump := func(id int32) bool {
+		counts[id]++
+		if counts[id] != idx.ell {
+			return true
+		}
+		if _, done := verified[id]; done {
+			return true
+		}
+		verified[id] = struct{}{}
+		cand.Push(int(id), vec.Dist(q, idx.data.Row(int(id))))
+		cnt++
+		return cnt < budget
+	}
+
+	const maxRounds = 64
+	for round := 0; round < maxRounds; round++ {
+		radius := idx.cfg.W * R / 2
+		r2 := radius * radius
+		stop := false
+		for s := 0; s < m && !stop; s++ {
+			sp := &idx.spaces[s]
+			// Expand the x-slab; admit only points inside the 2D disk.
+			for right[s].Valid() && right[s].Key() <= qx[s]+radius {
+				id := right[s].Val()
+				dx := sp.xs[id] - qx[s]
+				dy := sp.ys[id] - qy[s]
+				if dx*dx+dy*dy <= r2 {
+					if !bump(id) {
+						stop = true
+						break
+					}
+				}
+				right[s] = right[s].Next()
+			}
+			if stop {
+				break
+			}
+			for left[s].Valid() && left[s].Key() >= qx[s]-radius {
+				id := left[s].Val()
+				dx := sp.xs[id] - qx[s]
+				dy := sp.ys[id] - qy[s]
+				if dx*dx+dy*dy <= r2 {
+					if !bump(id) {
+						stop = true
+						break
+					}
+				}
+				left[s] = left[s].Prev()
+			}
+		}
+		if stop {
+			break
+		}
+		if worst, full := cand.Worst(); full && worst <= c*R {
+			break
+		}
+		if len(verified) >= n {
+			break
+		}
+		allDone := true
+		for s := range left {
+			if left[s].Valid() || right[s].Valid() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		// Restart the slab iterators each round: the disk radius grew, so
+		// points skipped for failing the y-test must be reconsidered.
+		R *= c
+		for s := range idx.spaces {
+			left[s] = idx.spaces[s].tree.SeekBefore(qx[s])
+			right[s] = idx.spaces[s].tree.Seek(qx[s])
+		}
+		for id := range counts {
+			delete(counts, id)
+		}
+	}
+
+	if cand.Len() < k && cand.Len() < n {
+		for id := range counts {
+			if _, done := verified[id]; done {
+				continue
+			}
+			cand.Push(int(id), vec.Dist(q, idx.data.Row(int(id))))
+			if cand.Len() >= k {
+				break
+			}
+		}
+	}
+	return cand.Results()
+}

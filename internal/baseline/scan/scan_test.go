@@ -1,0 +1,47 @@
+package scan
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dblsh/internal/vec"
+)
+
+func TestKANNExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := vec.NewMatrix(500, 8)
+	for i := 0; i < 500; i++ {
+		for j := 0; j < 8; j++ {
+			data.Row(i)[j] = float32(rng.NormFloat64())
+		}
+	}
+	idx := Build(data)
+	if idx.Size() != 500 {
+		t.Fatalf("Size = %d", idx.Size())
+	}
+	q := make([]float32, 8)
+	res := idx.KANN(q, 10)
+	dists := make([]float64, 500)
+	for i := range dists {
+		dists[i] = vec.Dist(q, data.Row(i))
+	}
+	sort.Float64s(dists)
+	for i, nb := range res {
+		if nb.Dist != dists[i] {
+			t.Fatalf("rank %d: %v, want %v", i, nb.Dist, dists[i])
+		}
+	}
+}
+
+func TestKANNEmptyAndOversized(t *testing.T) {
+	idx := Build(vec.NewMatrix(0, 4))
+	if res := idx.KANN(make([]float32, 4), 3); len(res) != 0 {
+		t.Fatalf("empty scan returned %v", res)
+	}
+	data := vec.NewMatrix(3, 2)
+	idx = Build(data)
+	if res := idx.KANN([]float32{0, 0}, 10); len(res) != 3 {
+		t.Fatalf("got %d results from 3 points", len(res))
+	}
+}

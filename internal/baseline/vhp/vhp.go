@@ -1,0 +1,301 @@
+// Package vhp implements VHP (Lu, Wang, Wang & Kudo, PVLDB 2020), the
+// C2-family competitor that treats QALSH's 1-D buckets as hyperplane slabs
+// and admits a candidate only when it lies inside a *virtual hypersphere*
+// in the m-dimensional projected space.
+//
+// QALSH's admission test (ℓ of m slab collisions) approximates "close in
+// projected space" by counting; VHP replaces the count with the real thing:
+// once a point has been seen in enough slabs to be worth testing, its exact
+// projected distance to the query is compared with the hypersphere radius
+// t0·(w/2)·R·√m. The hypersphere is strictly contained in the union of
+// slabs, so VHP verifies fewer, better candidates per round — at the price
+// of storing all m projections and re-testing borderline points as R grows,
+// which is how the DP-LSH paper's Table IV shows VHP falling behind on very
+// large datasets.
+package vhp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dblsh/internal/bptree"
+	"dblsh/internal/lsh"
+	"dblsh/internal/mathx"
+	"dblsh/internal/vec"
+)
+
+// Config parameterizes VHP.
+type Config struct {
+	// C is the approximation ratio. Default 1.5.
+	C float64
+	// W is the slab width. Default 2.719.
+	W float64
+	// M is the number of projections. 0 derives m = O(log n).
+	M int
+	// T0 scales the virtual hypersphere radius relative to the slab
+	// half-width (the VHP paper's t0; its experiments use 1.4).
+	T0 float64
+	// Beta scales the verification budget βn + k. Default 100/n.
+	Beta float64
+	// Seed drives projection sampling.
+	Seed int64
+	// InitialRadius is the ladder start; 0 estimates from data.
+	InitialRadius float64
+}
+
+// Index is a VHP index.
+type Index struct {
+	data  *vec.Matrix
+	cfg   Config
+	projs []lsh.Projection
+	proj  *vec.Matrix // n×m projected coordinates (float32)
+	trees []*bptree.Tree
+	ell   int
+	r0    float64
+}
+
+// Build projects the dataset M times, keeps the full projection matrix for
+// hypersphere tests, and builds one B+-tree per projection for slab
+// expansion.
+func Build(data *vec.Matrix, cfg Config) *Index {
+	n := data.Rows()
+	if cfg.C <= 1 {
+		cfg.C = 1.5
+	}
+	if cfg.W <= 0 {
+		cfg.W = 2.719
+	}
+	if cfg.T0 <= 0 {
+		cfg.T0 = 1.4
+	}
+	if cfg.M <= 0 {
+		m := int(math.Ceil(6 * math.Log(float64(n)+2)))
+		if m < 8 {
+			m = 8
+		}
+		cfg.M = m
+	}
+	if cfg.Beta <= 0 {
+		if n > 0 {
+			cfg.Beta = 100 / float64(n)
+		} else {
+			cfg.Beta = 0.01
+		}
+	}
+	idx := &Index{data: data, cfg: cfg}
+
+	p1 := mathx.CollisionProbDynamic(1, cfg.W)
+	p2 := mathx.CollisionProbDynamic(cfg.C, cfg.W)
+	idx.ell = int(math.Ceil((p1 + p2) / 2 * float64(cfg.M)))
+	if idx.ell < 1 {
+		idx.ell = 1
+	}
+	if idx.ell > cfg.M {
+		idx.ell = cfg.M
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx.projs = make([]lsh.Projection, cfg.M)
+	idx.proj = vec.NewMatrix(n, cfg.M)
+	idx.trees = make([]*bptree.Tree, cfg.M)
+	for j := 0; j < cfg.M; j++ {
+		idx.projs[j] = lsh.NewProjection(data.Dim(), rng)
+		pairs := make([]bptree.Pair, n)
+		for i := 0; i < n; i++ {
+			h := idx.projs[j].Hash(data.Row(i))
+			idx.proj.Row(i)[j] = float32(h)
+			pairs[i] = bptree.Pair{Key: h, Val: int32(i)}
+		}
+		idx.trees[j] = bptree.Bulk(pairs)
+	}
+
+	idx.r0 = cfg.InitialRadius
+	if idx.r0 <= 0 {
+		idx.r0 = estimateRadius(data, cfg.Seed)
+	}
+	return idx
+}
+
+func estimateRadius(data *vec.Matrix, seed int64) float64 {
+	n := data.Rows()
+	if n < 2 {
+		return 1
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x62d5a1))
+	best := math.Inf(1)
+	for s := 0; s < 24; s++ {
+		qi := rng.Intn(n)
+		nn := math.Inf(1)
+		for p := 0; p < 512; p++ {
+			oi := rng.Intn(n)
+			if oi == qi {
+				continue
+			}
+			if d := vec.SquaredDist(data.Row(qi), data.Row(oi)); d < nn {
+				nn = d
+			}
+		}
+		if nn < best {
+			best = nn
+		}
+	}
+	r := math.Sqrt(best) / 4
+	if r <= 0 || math.IsInf(r, 1) {
+		return 1
+	}
+	return r
+}
+
+// Size returns the number of indexed points.
+func (idx *Index) Size() int { return idx.data.Rows() }
+
+// M returns the number of projections.
+func (idx *Index) M() int { return idx.cfg.M }
+
+// Threshold returns the slab-collision threshold ℓ that triggers the
+// hypersphere test.
+func (idx *Index) Threshold() int { return idx.ell }
+
+// KANN answers a (c,k)-ANN query. Safe for concurrent use.
+func (idx *Index) KANN(q []float32, k int) []vec.Neighbor {
+	if len(q) != idx.data.Dim() {
+		panic(fmt.Sprintf("vhp: query dim %d, index dim %d", len(q), idx.data.Dim()))
+	}
+	if k <= 0 {
+		panic("vhp: k must be positive")
+	}
+	n := idx.data.Rows()
+	if n == 0 {
+		return nil
+	}
+
+	m := idx.cfg.M
+	qp := make([]float32, m)
+	left := make([]bptree.Iterator, m)
+	right := make([]bptree.Iterator, m)
+	for j := 0; j < m; j++ {
+		h := idx.projs[j].Hash(q)
+		qp[j] = float32(h)
+		left[j] = idx.trees[j].SeekBefore(h)
+		right[j] = idx.trees[j].Seek(h)
+	}
+
+	counts := make(map[int32]int, 1024)
+	pending := make(map[int32]struct{}, 256) // crossed ℓ, failed the sphere so far
+	verified := make(map[int32]struct{}, 256)
+	cand := vec.NewTopK(k)
+	budget := int(idx.cfg.Beta*float64(n)) + k
+	if budget < k {
+		budget = k
+	}
+	cnt := 0
+	c := idx.cfg.C
+	R := idx.r0
+
+	sphereTest := func(id int32, radius2 float64) bool {
+		return vec.SquaredDist(qp, idx.proj.Row(int(id))) <= radius2
+	}
+	admit := func(id int32) bool { // returns false when the budget is gone
+		verified[id] = struct{}{}
+		delete(pending, id)
+		cand.Push(int(id), vec.Dist(q, idx.data.Row(int(id))))
+		cnt++
+		return cnt < budget
+	}
+
+	const maxRounds = 64
+	for round := 0; round < maxRounds; round++ {
+		half := idx.cfg.W * R / 2
+		sphereR := idx.cfg.T0 * half * math.Sqrt(float64(m))
+		sphereR2 := sphereR * sphereR
+		stop := false
+
+		// Re-test borderline points at the grown hypersphere.
+		for id := range pending {
+			if sphereTest(id, sphereR2) {
+				if !admit(id) {
+					stop = true
+					break
+				}
+			}
+		}
+
+		bump := func(id int32) bool {
+			counts[id]++
+			if counts[id] != idx.ell {
+				return true
+			}
+			if _, done := verified[id]; done {
+				return true
+			}
+			if sphereTest(id, sphereR2) {
+				return admit(id)
+			}
+			pending[id] = struct{}{}
+			return true
+		}
+		for j := 0; j < m && !stop; j++ {
+			for right[j].Valid() && float32(right[j].Key()) <= qp[j]+float32(half) {
+				if !bump(right[j].Val()) {
+					stop = true
+					break
+				}
+				right[j] = right[j].Next()
+			}
+			if stop {
+				break
+			}
+			for left[j].Valid() && float32(left[j].Key()) >= qp[j]-float32(half) {
+				if !bump(left[j].Val()) {
+					stop = true
+					break
+				}
+				left[j] = left[j].Prev()
+			}
+		}
+		if stop {
+			break
+		}
+		if worst, full := cand.Worst(); full && worst <= c*R {
+			break
+		}
+		if len(verified) >= n {
+			break
+		}
+		allDone := true
+		for j := range left {
+			if left[j].Valid() || right[j].Valid() {
+				allDone = false
+				break
+			}
+		}
+		if allDone && len(pending) == 0 {
+			break
+		}
+		R *= c
+	}
+
+	// Pad from pending/most-collided points if the sphere starved the set.
+	if cand.Len() < k && cand.Len() < n {
+		for id := range pending {
+			if _, done := verified[id]; done {
+				continue
+			}
+			cand.Push(int(id), vec.Dist(q, idx.data.Row(int(id))))
+			if cand.Len() >= k {
+				break
+			}
+		}
+		for id := range counts {
+			if cand.Len() >= k {
+				break
+			}
+			if _, done := verified[id]; done {
+				continue
+			}
+			cand.Push(int(id), vec.Dist(q, idx.data.Row(int(id))))
+		}
+	}
+	return cand.Results()
+}

@@ -1,0 +1,95 @@
+package vhp
+
+import (
+	"math/rand"
+	"testing"
+
+	"dblsh/internal/vec"
+)
+
+func clustered(n, d int, seed int64) *vec.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, 8)
+	for i := range centers {
+		c := make([]float32, d)
+		for j := range c {
+			c[j] = float32(rng.NormFloat64() * 10)
+		}
+		centers[i] = c
+	}
+	m := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		c := centers[rng.Intn(8)]
+		for j := 0; j < d; j++ {
+			m.Row(i)[j] = c[j] + float32(rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestDerivedParams(t *testing.T) {
+	idx := Build(clustered(5000, 16, 1), Config{C: 1.5, Seed: 1})
+	if idx.M() < 8 {
+		t.Fatalf("derived M = %d", idx.M())
+	}
+	if idx.Threshold() < 1 || idx.Threshold() > idx.M() {
+		t.Fatalf("ℓ = %d out of [1,%d]", idx.Threshold(), idx.M())
+	}
+	if idx.cfg.T0 != 1.4 {
+		t.Fatalf("default t0 = %v", idx.cfg.T0)
+	}
+}
+
+func TestSelfQuery(t *testing.T) {
+	data := clustered(3000, 16, 2)
+	idx := Build(data, Config{C: 1.5, Beta: 0.1, Seed: 2})
+	res := idx.KANN(data.Row(5), 1)
+	if len(res) != 1 || res[0].Dist != 0 {
+		t.Fatalf("self-query result %+v", res)
+	}
+}
+
+func TestResultContract(t *testing.T) {
+	data := clustered(2000, 16, 3)
+	idx := Build(data, Config{C: 1.5, Beta: 0.3, Seed: 3})
+	q := data.Row(7)
+	res := idx.KANN(q, 10)
+	if len(res) == 0 {
+		t.Fatal("empty result")
+	}
+	seen := map[int]bool{}
+	prev := -1.0
+	for _, nb := range res {
+		if seen[nb.ID] {
+			t.Fatalf("duplicate id %d", nb.ID)
+		}
+		seen[nb.ID] = true
+		if nb.Dist < prev {
+			t.Fatal("results not sorted")
+		}
+		prev = nb.Dist
+	}
+}
+
+func TestTinyDataExhaustion(t *testing.T) {
+	data := clustered(25, 8, 4)
+	idx := Build(data, Config{C: 1.5, Beta: 1, Seed: 4})
+	res := idx.KANN(data.Row(0), 50)
+	if len(res) > 25 {
+		t.Fatalf("returned %d from 25 points", len(res))
+	}
+}
+
+func TestEmptyAndPanics(t *testing.T) {
+	idx := Build(vec.NewMatrix(0, 8), Config{Seed: 5})
+	if res := idx.KANN(make([]float32, 8), 3); len(res) != 0 {
+		t.Fatalf("empty data returned %v", res)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	idx2 := Build(clustered(50, 8, 6), Config{Seed: 6})
+	idx2.KANN(make([]float32, 8), 0)
+}

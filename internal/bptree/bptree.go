@@ -1,0 +1,324 @@
+// Package bptree implements an in-memory B+-tree over (float64 key, int32
+// value) pairs with linked leaves and bidirectional iterators.
+//
+// It is the substrate for the QALSH-style collision-counting baseline
+// (Huang et al., PVLDB 2015): each of the K projected dimensions keeps a
+// B+-tree over projection values so a query can expand a query-centric 1-D
+// bucket outward from its own projection — exactly the "dynamic C2" access
+// pattern the DB-LSH paper compares against.
+//
+// Duplicate keys are allowed.
+package bptree
+
+import "sort"
+
+const (
+	// order is the fan-out of internal nodes; leafCap the entries per leaf.
+	order   = 64
+	leafCap = 64
+)
+
+// Pair is a key/value entry.
+type Pair struct {
+	Key float64
+	Val int32
+}
+
+type leaf struct {
+	keys []float64
+	vals []int32
+	next *leaf
+	prev *leaf
+}
+
+type internal struct {
+	// keys[i] is the smallest key of subtree children[i+1].
+	keys     []float64
+	children []interface{} // *internal or *leaf
+}
+
+// Tree is an in-memory B+-tree. The zero value is an empty tree ready to use.
+// Not safe for concurrent mutation.
+type Tree struct {
+	root interface{} // *internal, *leaf, or nil
+	size int
+	head *leaf // leftmost leaf, for full scans
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Bulk builds a tree from pairs in one pass. The input is sorted in place by
+// key. Bulk building packs leaves full and is the preferred construction for
+// the QALSH baseline's static dataset.
+func Bulk(pairs []Pair) *Tree {
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	t := &Tree{}
+	if len(pairs) == 0 {
+		return t
+	}
+	// Pack leaves.
+	var leaves []*leaf
+	for lo := 0; lo < len(pairs); lo += leafCap {
+		hi := lo + leafCap
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		lf := &leaf{
+			keys: make([]float64, hi-lo),
+			vals: make([]int32, hi-lo),
+		}
+		for i := lo; i < hi; i++ {
+			lf.keys[i-lo] = pairs[i].Key
+			lf.vals[i-lo] = pairs[i].Val
+		}
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = lf
+			lf.prev = leaves[len(leaves)-1]
+		}
+		leaves = append(leaves, lf)
+	}
+	t.head = leaves[0]
+	t.size = len(pairs)
+
+	// Pack internal levels.
+	nodes := make([]interface{}, len(leaves))
+	firstKeys := make([]float64, len(leaves))
+	for i, lf := range leaves {
+		nodes[i] = lf
+		firstKeys[i] = lf.keys[0]
+	}
+	for len(nodes) > 1 {
+		var parents []interface{}
+		var parentFirst []float64
+		for lo := 0; lo < len(nodes); lo += order {
+			hi := lo + order
+			if hi > len(nodes) {
+				hi = len(nodes)
+			}
+			in := &internal{
+				children: append([]interface{}(nil), nodes[lo:hi]...),
+				keys:     append([]float64(nil), firstKeys[lo+1:hi]...),
+			}
+			parents = append(parents, in)
+			parentFirst = append(parentFirst, firstKeys[lo])
+		}
+		nodes, firstKeys = parents, parentFirst
+	}
+	t.root = nodes[0]
+	return t
+}
+
+// Len returns the number of stored pairs.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds a (key, val) pair, keeping duplicates.
+func (t *Tree) Insert(key float64, val int32) {
+	t.size++
+	if t.root == nil {
+		lf := &leaf{keys: []float64{key}, vals: []int32{val}}
+		t.root = lf
+		t.head = lf
+		return
+	}
+	splitKey, splitNode := t.insert(t.root, key, val)
+	if splitNode != nil {
+		t.root = &internal{
+			keys:     []float64{splitKey},
+			children: []interface{}{t.root, splitNode},
+		}
+	}
+}
+
+// insert descends, returning a (key, node) pair when the child split.
+func (t *Tree) insert(n interface{}, key float64, val int32) (float64, interface{}) {
+	switch n := n.(type) {
+	case *leaf:
+		i := sort.SearchFloat64s(n.keys, key)
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		if len(n.keys) <= leafCap {
+			return 0, nil
+		}
+		mid := len(n.keys) / 2
+		right := &leaf{
+			keys: append([]float64(nil), n.keys[mid:]...),
+			vals: append([]int32(nil), n.vals[mid:]...),
+			next: n.next,
+			prev: n,
+		}
+		if n.next != nil {
+			n.next.prev = right
+		}
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = right
+		return right.keys[0], right
+	case *internal:
+		// Descend into the leftmost child whose key range admits key; equal
+		// keys go left so duplicates cluster but never violate separators.
+		ci := sort.SearchFloat64s(n.keys, key)
+		sk, sn := t.insert(n.children[ci], key, val)
+		if sn == nil {
+			return 0, nil
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = sk
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = sn
+		if len(n.children) <= order {
+			return 0, nil
+		}
+		mid := len(n.children) / 2
+		promote := n.keys[mid-1]
+		right := &internal{
+			keys:     append([]float64(nil), n.keys[mid:]...),
+			children: append([]interface{}(nil), n.children[mid:]...),
+		}
+		n.keys = n.keys[:mid-1]
+		n.children = n.children[:mid]
+		return promote, right
+	}
+	panic("bptree: unknown node type")
+}
+
+// Iterator walks pairs in key order in either direction.
+type Iterator struct {
+	lf  *leaf
+	idx int
+}
+
+// Seek returns an iterator positioned at the first pair with key ≥ x.
+// Valid() is false when every key is < x.
+func (t *Tree) Seek(x float64) Iterator {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case nil:
+			return Iterator{}
+		case *leaf:
+			i := sort.SearchFloat64s(v.keys, x)
+			it := Iterator{lf: v, idx: i}
+			if i == len(v.keys) {
+				it.lf, it.idx = v.next, 0
+				if it.lf != nil && len(it.lf.keys) == 0 {
+					it.lf = nil
+				}
+			}
+			return it
+		case *internal:
+			n = v.children[sort.SearchFloat64s(v.keys, x)]
+		default:
+			return Iterator{}
+		}
+	}
+}
+
+// SeekBefore returns an iterator positioned at the last pair with key < x,
+// for walking toward smaller keys with Prev. Valid() is false when every key
+// is ≥ x.
+func (t *Tree) SeekBefore(x float64) Iterator {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case nil:
+			return Iterator{}
+		case *leaf:
+			i := sort.SearchFloat64s(v.keys, x) // first ≥ x
+			it := Iterator{lf: v, idx: i - 1}
+			if i == 0 {
+				it = Iterator{lf: v, idx: 0}.Prev()
+			}
+			return it
+		case *internal:
+			n = v.children[sort.SearchFloat64s(v.keys, x)]
+		default:
+			return Iterator{}
+		}
+	}
+}
+
+// Max returns an iterator at the largest key.
+func (t *Tree) Max() Iterator {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case nil:
+			return Iterator{}
+		case *leaf:
+			return Iterator{lf: v, idx: len(v.keys) - 1}
+		case *internal:
+			n = v.children[len(v.children)-1]
+		default:
+			return Iterator{}
+		}
+	}
+}
+
+// Min returns an iterator at the smallest key.
+func (t *Tree) Min() Iterator {
+	if t.head == nil {
+		return Iterator{}
+	}
+	return Iterator{lf: t.head, idx: 0}
+}
+
+// Valid reports whether the iterator references a pair.
+func (it Iterator) Valid() bool { return it.lf != nil && it.idx >= 0 && it.idx < len(it.lf.keys) }
+
+// Key returns the current key. The iterator must be Valid.
+func (it Iterator) Key() float64 { return it.lf.keys[it.idx] }
+
+// Val returns the current value. The iterator must be Valid.
+func (it Iterator) Val() int32 { return it.lf.vals[it.idx] }
+
+// Next advances toward larger keys and returns the advanced iterator.
+func (it Iterator) Next() Iterator {
+	if it.lf == nil {
+		return it
+	}
+	it.idx++
+	for it.lf != nil && it.idx >= len(it.lf.keys) {
+		it.lf = it.lf.next
+		it.idx = 0
+	}
+	return it
+}
+
+// Prev steps toward smaller keys and returns the stepped iterator.
+func (it Iterator) Prev() Iterator {
+	if it.lf == nil {
+		return it
+	}
+	it.idx--
+	for it.lf != nil && it.idx < 0 {
+		it.lf = it.lf.prev
+		if it.lf != nil {
+			it.idx = len(it.lf.keys) - 1
+		}
+	}
+	return it
+}
+
+// Range calls visit for every pair with lo ≤ key ≤ hi in ascending order,
+// stopping early when visit returns false.
+func (t *Tree) Range(lo, hi float64, visit func(key float64, val int32) bool) {
+	for it := t.Seek(lo); it.Valid() && it.Key() <= hi; it = it.Next() {
+		if !visit(it.Key(), it.Val()) {
+			return
+		}
+	}
+}
+
+// Count returns the number of pairs with lo ≤ key ≤ hi.
+func (t *Tree) Count(lo, hi float64) int {
+	n := 0
+	t.Range(lo, hi, func(float64, int32) bool { n++; return true })
+	return n
+}

@@ -1,0 +1,277 @@
+package bptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func collect(t *Tree) []Pair {
+	var out []Pair
+	for it := t.Min(); it.Valid(); it = it.Next() {
+		out = append(out, Pair{it.Key(), it.Val()})
+	}
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Min().Valid() || tr.Max().Valid() || tr.Seek(0).Valid() || tr.SeekBefore(0).Valid() {
+		t.Fatal("iterators on empty tree must be invalid")
+	}
+}
+
+func TestInsertAndScan(t *testing.T) {
+	tr := New()
+	keys := []float64{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}
+	for i, k := range keys {
+		tr.Insert(k, int32(i))
+	}
+	got := collect(tr)
+	if len(got) != 10 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, p := range got {
+		if p.Key != float64(i) {
+			t.Fatalf("got[%d].Key = %v", i, p.Key)
+		}
+	}
+}
+
+func TestBulkMatchesInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 10_000
+	pairs := make([]Pair, n)
+	tr := New()
+	for i := range pairs {
+		k := rng.NormFloat64() * 100
+		pairs[i] = Pair{k, int32(i)}
+		tr.Insert(k, int32(i))
+	}
+	bulk := Bulk(append([]Pair(nil), pairs...))
+	a, b := collect(tr), collect(bulk)
+	if len(a) != n || len(b) != n {
+		t.Fatalf("lens %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			t.Fatalf("key order differs at %d: %v vs %v", i, a[i].Key, b[i].Key)
+		}
+	}
+}
+
+func TestSeek(t *testing.T) {
+	tr := Bulk([]Pair{{1, 1}, {3, 3}, {5, 5}, {7, 7}})
+	cases := []struct {
+		x    float64
+		want float64
+		ok   bool
+	}{
+		{0, 1, true}, {1, 1, true}, {2, 3, true}, {5, 5, true},
+		{6, 7, true}, {7, 7, true}, {8, 0, false},
+	}
+	for _, c := range cases {
+		it := tr.Seek(c.x)
+		if it.Valid() != c.ok {
+			t.Fatalf("Seek(%v).Valid = %v", c.x, it.Valid())
+		}
+		if c.ok && it.Key() != c.want {
+			t.Fatalf("Seek(%v) = %v, want %v", c.x, it.Key(), c.want)
+		}
+	}
+}
+
+func TestSeekBefore(t *testing.T) {
+	tr := Bulk([]Pair{{1, 1}, {3, 3}, {5, 5}, {7, 7}})
+	cases := []struct {
+		x    float64
+		want float64
+		ok   bool
+	}{
+		{1, 0, false}, {2, 1, true}, {3, 1, true}, {5.5, 5, true},
+		{100, 7, true}, {0.5, 0, false},
+	}
+	for _, c := range cases {
+		it := tr.SeekBefore(c.x)
+		if it.Valid() != c.ok {
+			t.Fatalf("SeekBefore(%v).Valid = %v, want %v", c.x, it.Valid(), c.ok)
+		}
+		if c.ok && it.Key() != c.want {
+			t.Fatalf("SeekBefore(%v) = %v, want %v", c.x, it.Key(), c.want)
+		}
+	}
+}
+
+func TestSeekOnLargeTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 50_000
+	keys := make([]float64, n)
+	tr := New()
+	for i := range keys {
+		keys[i] = rng.Float64() * 1000
+		tr.Insert(keys[i], int32(i))
+	}
+	sort.Float64s(keys)
+	for trial := 0; trial < 200; trial++ {
+		x := rng.Float64() * 1000
+		i := sort.SearchFloat64s(keys, x)
+		it := tr.Seek(x)
+		if i == n {
+			if it.Valid() {
+				t.Fatalf("Seek(%v) should be invalid", x)
+			}
+			continue
+		}
+		if !it.Valid() || it.Key() != keys[i] {
+			t.Fatalf("Seek(%v) = %v, want %v", x, it.Key(), keys[i])
+		}
+	}
+}
+
+func TestBidirectionalIteration(t *testing.T) {
+	tr := Bulk([]Pair{{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}})
+	it := tr.Seek(3)
+	if it.Key() != 3 {
+		t.Fatalf("Seek(3) = %v", it.Key())
+	}
+	it = it.Next()
+	if it.Key() != 4 {
+		t.Fatalf("Next = %v", it.Key())
+	}
+	it = it.Prev().Prev()
+	if it.Key() != 2 {
+		t.Fatalf("Prev.Prev = %v", it.Key())
+	}
+}
+
+func TestPrevFromMinInvalid(t *testing.T) {
+	tr := Bulk([]Pair{{1, 1}, {2, 2}})
+	it := tr.Min().Prev()
+	if it.Valid() {
+		t.Fatal("Prev from Min must be invalid")
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Insert(42, int32(i))
+	}
+	tr.Insert(41, -1)
+	tr.Insert(43, -2)
+	if got := tr.Count(42, 42); got != 500 {
+		t.Fatalf("Count(42,42) = %d", got)
+	}
+	it := tr.Seek(42)
+	if !it.Valid() || it.Key() != 42 {
+		t.Fatalf("Seek into duplicates failed: %v", it.Key())
+	}
+	if it := tr.SeekBefore(42); !it.Valid() || it.Key() != 41 {
+		t.Fatalf("SeekBefore(42) = %v", it.Key())
+	}
+	// All 500 values present exactly once.
+	seen := map[int32]bool{}
+	tr.Range(42, 42, func(_ float64, v int32) bool {
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+		return true
+	})
+	if len(seen) != 500 {
+		t.Fatalf("found %d values", len(seen))
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr := Bulk([]Pair{{1, 1}, {2, 2}, {3, 3}, {4, 4}})
+	n := 0
+	tr.Range(0, 10, func(float64, int32) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]float64, 5000)
+	tr := New()
+	for i := range keys {
+		keys[i] = rng.NormFloat64() * 50
+		tr.Insert(keys[i], int32(i))
+	}
+	for trial := 0; trial < 50; trial++ {
+		lo := rng.NormFloat64() * 50
+		hi := lo + rng.Float64()*40
+		want := 0
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		if got := tr.Count(lo, hi); got != want {
+			t.Fatalf("Count(%v,%v) = %d, want %d", lo, hi, got, want)
+		}
+	}
+}
+
+// Property: tree iteration is always sorted and complete.
+func TestSortedIterationProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		tr := New()
+		for i, k := range raw {
+			tr.Insert(k, int32(i))
+		}
+		got := collect(tr)
+		if len(got) != len(raw) {
+			return false
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		for i := range got {
+			if got[i].Key != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMax(t *testing.T) {
+	tr := Bulk([]Pair{{3, 3}, {1, 1}, {2, 2}})
+	if it := tr.Max(); !it.Valid() || it.Key() != 3 {
+		t.Fatalf("Max = %v", it.Key())
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Float64(), int32(i))
+	}
+}
+
+func BenchmarkSeek(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([]Pair, 1_000_000)
+	for i := range pairs {
+		pairs[i] = Pair{rng.Float64(), int32(i)}
+	}
+	tr := Bulk(pairs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Seek(rng.Float64())
+	}
+}

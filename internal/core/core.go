@@ -1,0 +1,503 @@
+// Package core implements DB-LSH itself: the (K,L)-index with query-centric
+// dynamic bucketing of Tian, Zhao and Zhou (ICDE 2022).
+//
+// Indexing phase (Section IV-B): every data point is mapped into L
+// K-dimensional projected spaces by L×K independent 2-stable projections
+// (Eq. 7) and each projected space is indexed with an R*-tree built by STR
+// bulk loading.
+//
+// Query phase (Section IV-C): a c-ANN query runs a series of (r,c)-NN
+// queries with geometrically growing radius (Algorithm 2). Each (r,c)-NN
+// query materializes L query-centric hypercubic buckets W(G_i(q), w0·r)
+// (Eq. 8) as window queries on the R*-trees and verifies the points found
+// until either a point within c·r is known or 2tL+1 candidates have been
+// inspected (Algorithm 1). The (c,k)-ANN generalization follows the rules at
+// the end of Section IV-C: the candidate budget becomes 2tL+k and the
+// distance test applies to the k-th best candidate so far.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"dblsh/internal/lsh"
+	"dblsh/internal/rstar"
+	"dblsh/internal/vec"
+)
+
+// Config controls index construction.
+type Config struct {
+	// C is the approximation ratio (> 1). Default 1.5, the paper's default.
+	C float64
+	// W0 is the initial bucket width. Default 4c² (γ = 2), giving the
+	// paper's headline bound ρ* ≤ 1/c^4.746.
+	W0 float64
+	// T is the candidate constant t: queries verify at most 2tL+k points.
+	// Default 100.
+	T int
+	// K is the number of hash functions per projected space. 0 uses the
+	// paper's experimental setting: 10, or 12 for n ≥ 1M (Section VI-A).
+	K int
+	// L is the number of projected spaces. 0 uses the paper's setting of 5.
+	L int
+	// Seed drives all hash-function sampling. A given (Seed, K, L, dim)
+	// always produces the same index.
+	Seed int64
+	// InitialRadius is the starting search radius r of Algorithm 2.
+	// 0 estimates it from a data sample (the paper assumes distances are
+	// normalized so r=1 works; synthetic data is not, so we estimate).
+	InitialRadius float64
+	// EarlyStopFactor loosens the ladder's termination test: the query
+	// stops once the k-th candidate is within EarlyStopFactor·c·r instead
+	// of c·r. Values above 1 terminate earlier, trading recall for speed —
+	// the "early termination conditions" direction the paper's conclusion
+	// sketches (cf. I-LSH/EI-LSH). 0 or 1 reproduces the paper exactly.
+	EarlyStopFactor float64
+	// Tree configures the R*-trees.
+	Tree rstar.Options
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.C <= 1 {
+		c.C = 1.5
+	}
+	if c.W0 <= 0 {
+		c.W0 = 4 * c.C * c.C
+	}
+	if c.T <= 0 {
+		c.T = 100
+	}
+	// The paper's experiments fix K and L rather than deriving them from
+	// Lemma 1: at the default width w0 = 4c² the far-collision probability
+	// p2 is so close to 1 that the theoretical K = log_{1/p2}(n/t) runs into
+	// the thousands (Section V-B discusses exactly this trade-off). Follow
+	// the paper's Section VI-A settings: K = 10 (12 for n ≥ 1M), L = 5.
+	if c.K == 0 {
+		c.K = 10
+		if n >= 1_000_000 {
+			c.K = 12
+		}
+	}
+	if c.L == 0 {
+		c.L = 5
+	}
+	if c.EarlyStopFactor <= 0 {
+		c.EarlyStopFactor = 1
+	}
+	return c
+}
+
+// Index is an immutable DB-LSH index over a dataset. Concurrent queries are
+// safe; each goroutine should use its own Searcher.
+type Index struct {
+	data      *vec.Matrix
+	cfg       Config
+	family    *lsh.Family
+	projected []*vec.Matrix // L matrices, n×K
+	trees     []*rstar.Tree // L R*-trees
+	r0        float64
+	pool      sync.Pool
+
+	// Tombstones: deleted points stay in the trees but are filtered from
+	// query results. Rebuild the index when the deleted fraction grows
+	// large; LSH indexes are cheap to rebuild (bulk loading).
+	deleted      []bool
+	deletedCount int
+}
+
+// Build constructs the index: L projections of the dataset and L bulk-loaded
+// R*-trees. Projection and tree construction run in parallel across the L
+// spaces.
+func Build(data *vec.Matrix, cfg Config) *Index {
+	n := data.Rows()
+	cfg = cfg.withDefaults(n)
+	idx := &Index{
+		data:      data,
+		cfg:       cfg,
+		family:    lsh.NewFamily(cfg.L, cfg.K, data.Dim(), cfg.Seed),
+		projected: make([]*vec.Matrix, cfg.L),
+		trees:     make([]*rstar.Tree, cfg.L),
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < cfg.L; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			idx.projected[i] = idx.family.Compound(i).Project(data)
+			idx.trees[i] = rstar.BulkLoad(idx.projected[i], cfg.Tree)
+		}(i)
+	}
+	wg.Wait()
+
+	idx.r0 = cfg.InitialRadius
+	if idx.r0 <= 0 {
+		idx.r0 = estimateInitialRadius(data, cfg.Seed)
+	}
+	idx.pool.New = func() interface{} { return newSearcher(idx) }
+	return idx
+}
+
+// estimateInitialRadius picks a starting radius well below the typical
+// nearest-neighbor distance so Algorithm 2's geometric ladder brackets r*.
+// Starting too low only costs a handful of cheap extra rounds.
+func estimateInitialRadius(data *vec.Matrix, seed int64) float64 {
+	n := data.Rows()
+	if n < 2 {
+		return 1
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5bf03635))
+	const samples = 24
+	const pool = 512
+	best := math.Inf(1)
+	for s := 0; s < samples; s++ {
+		qi := rng.Intn(n)
+		q := data.Row(qi)
+		nn := math.Inf(1)
+		for p := 0; p < pool; p++ {
+			oi := rng.Intn(n)
+			if oi == qi {
+				continue
+			}
+			if d := vec.SquaredDist(q, data.Row(oi)); d < nn {
+				nn = d
+			}
+		}
+		if nn < best {
+			best = nn
+		}
+	}
+	r := math.Sqrt(best) / 4
+	if r <= 0 || math.IsInf(r, 1) {
+		return 1
+	}
+	return r
+}
+
+// Insert adds a point to the index and returns its id, extending the paper's
+// static design with the incremental maintenance its R*-trees natively
+// support (the paper's Section VII lists this direction as future work).
+// Insert must not run concurrently with queries or other Inserts.
+func (idx *Index) Insert(p []float32) int {
+	if len(p) != idx.data.Dim() {
+		panic(fmt.Sprintf("core: insert dim %d, index dim %d", len(p), idx.data.Dim()))
+	}
+	id := idx.data.Append(p)
+	for i := 0; i < idx.cfg.L; i++ {
+		pid := idx.projected[i].Append(idx.family.Compound(i).Hash(nil, p))
+		if pid != id {
+			panic("core: projected matrix out of sync with data")
+		}
+		idx.trees[i].Insert(id)
+	}
+	if idx.deleted != nil {
+		idx.deleted = append(idx.deleted, false)
+	}
+	return id
+}
+
+// Delete tombstones a point: it stays in the trees but is excluded from all
+// subsequent query results. Returns false if id is out of range or already
+// deleted. Delete must not run concurrently with queries or mutations.
+// Deletion is O(1); reclaim space by rebuilding when Deleted() grows large.
+func (idx *Index) Delete(id int) bool {
+	if id < 0 || id >= idx.data.Rows() {
+		return false
+	}
+	if idx.deleted == nil {
+		idx.deleted = make([]bool, idx.data.Rows())
+	}
+	for len(idx.deleted) < idx.data.Rows() {
+		idx.deleted = append(idx.deleted, false)
+	}
+	if idx.deleted[id] {
+		return false
+	}
+	idx.deleted[id] = true
+	idx.deletedCount++
+	return true
+}
+
+// Deleted returns the number of tombstoned points.
+func (idx *Index) Deleted() int { return idx.deletedCount }
+
+// Live returns the number of points that queries can still return.
+func (idx *Index) Live() int { return idx.data.Rows() - idx.deletedCount }
+
+// isDeleted reports whether id is tombstoned.
+func (idx *Index) isDeleted(id int) bool {
+	return idx.deleted != nil && id < len(idx.deleted) && idx.deleted[id]
+}
+
+// Params reports the effective configuration.
+func (idx *Index) Params() Config { return idx.cfg }
+
+// Data returns the index's point matrix. Callers must treat it as read-only.
+func (idx *Index) Data() *vec.Matrix { return idx.data }
+
+// Size returns the number of indexed points.
+func (idx *Index) Size() int { return idx.data.Rows() }
+
+// Dim returns the dimensionality of the original space.
+func (idx *Index) Dim() int { return idx.data.Dim() }
+
+// InitialRadius returns the starting radius of the query ladder.
+func (idx *Index) InitialRadius() float64 { return idx.r0 }
+
+// IndexSizeBytes approximates the memory footprint of the projections and
+// trees (excluding the original data), the quantity Table IV compares.
+func (idx *Index) IndexSizeBytes() int64 {
+	var b int64
+	for i, p := range idx.projected {
+		b += int64(p.Rows()) * int64(p.Dim()) * 4
+		b += idx.trees[i].ComputeStats().BytesApprox
+	}
+	return b
+}
+
+// Stats describes a completed query.
+type Stats struct {
+	Candidates int     // points verified with an exact distance computation
+	Rounds     int     // (r,c)-NN rounds executed
+	FinalR     float64 // radius at termination
+}
+
+// Searcher holds per-goroutine query scratch state (visited stamps and the
+// query's L hash vectors). Obtain one with NewSearcher; a Searcher must not
+// be used concurrently.
+type Searcher struct {
+	idx     *Index
+	visited []uint32
+	epoch   uint32
+	qhash   [][]float32
+	last    Stats
+}
+
+func newSearcher(idx *Index) *Searcher {
+	qh := make([][]float32, idx.cfg.L)
+	for i := range qh {
+		qh[i] = make([]float32, 0, idx.cfg.K)
+	}
+	return &Searcher{
+		idx:     idx,
+		visited: make([]uint32, idx.data.Rows()),
+		qhash:   qh,
+	}
+}
+
+// NewSearcher returns a dedicated searcher bound to the index.
+func (idx *Index) NewSearcher() *Searcher { return newSearcher(idx) }
+
+// KANN answers a (c,k)-ANN query using a pooled searcher. For repeated
+// queries from one goroutine, prefer an explicit Searcher.
+func (idx *Index) KANN(q []float32, k int) []vec.Neighbor {
+	s := idx.pool.Get().(*Searcher)
+	defer idx.pool.Put(s)
+	return s.KANN(q, k)
+}
+
+// ANN answers a c-ANN query (k = 1). ok is false only on an empty index.
+func (idx *Index) ANN(q []float32) (vec.Neighbor, bool) {
+	s := idx.pool.Get().(*Searcher)
+	defer idx.pool.Put(s)
+	return s.ANN(q)
+}
+
+// LastStats returns statistics for the searcher's most recent query.
+func (s *Searcher) LastStats() Stats { return s.last }
+
+// freshEpoch starts a new visited-stamp epoch, clearing stamps on wraparound
+// and growing the stamp array if the index gained points since the searcher
+// was created.
+func (s *Searcher) freshEpoch() {
+	if n := s.idx.data.Rows(); n > len(s.visited) {
+		grown := make([]uint32, n)
+		copy(grown, s.visited)
+		s.visited = grown
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// ANN answers a c-ANN query with this searcher.
+func (s *Searcher) ANN(q []float32) (vec.Neighbor, bool) {
+	res := s.KANN(q, 1)
+	if len(res) == 0 {
+		return vec.Neighbor{}, false
+	}
+	return res[0], true
+}
+
+// KANN answers a (c,k)-ANN query (Algorithm 2 with the Section IV-C (c,k)
+// termination rules): radius grows r, cr, c²r, …; at each radius L window
+// queries materialize query-centric buckets of width w0·r; candidates are
+// verified by exact distance until the budget 2tL+k is exhausted or the
+// k-th best candidate is within c·r.
+func (s *Searcher) KANN(q []float32, k int) []vec.Neighbor {
+	idx := s.idx
+	if len(q) != idx.data.Dim() {
+		panic(fmt.Sprintf("core: query dim %d, index dim %d", len(q), idx.data.Dim()))
+	}
+	if k <= 0 {
+		panic("core: k must be positive")
+	}
+	s.last = Stats{}
+	if idx.data.Rows() == 0 {
+		return nil
+	}
+
+	s.freshEpoch()
+
+	// Hash the query once per projected space; G_i(q) is radius-independent.
+	for i := 0; i < idx.cfg.L; i++ {
+		s.qhash[i] = idx.family.Compound(i).Hash(s.qhash[i][:0], q)
+	}
+
+	cand := vec.NewTopK(k)
+	budget := 2*idx.cfg.T*idx.cfg.L + k
+	cnt := 0
+	live := idx.Live()
+	c := idx.cfg.C
+	stopC := idx.cfg.EarlyStopFactor * c
+	w0 := idx.cfg.W0
+	r := idx.r0
+
+	for {
+		s.last.Rounds++
+		done := false
+		for i := 0; i < idx.cfg.L && !done; i++ {
+			w := rstar.WindowRect(s.qhash[i], w0*r)
+			idx.trees[i].Window(w, func(id int) bool {
+				if s.visited[id] == s.epoch {
+					return true
+				}
+				s.visited[id] = s.epoch
+				if idx.isDeleted(id) {
+					return true
+				}
+				dist := vec.Dist(q, idx.data.Row(id))
+				cand.Push(id, dist)
+				cnt++
+				if cnt >= budget {
+					done = true
+					return false
+				}
+				if worst, full := cand.Worst(); full && worst <= stopC*r {
+					done = true
+					return false
+				}
+				return true
+			})
+		}
+		s.last.FinalR = r
+		if done {
+			break
+		}
+		if worst, full := cand.Worst(); full && worst <= stopC*r {
+			break
+		}
+		if cnt >= live {
+			break // every live point verified: the result is exact
+		}
+		r *= c
+		if s.coversAllTrees(w0 * r) {
+			// The next window contains every projected point in every tree;
+			// run one final full round and stop.
+			s.finalSweep(q, cand, &cnt, budget)
+			break
+		}
+	}
+	s.last.Candidates = cnt
+	return cand.Results()
+}
+
+// coversAllTrees reports whether a window of width w centred at the query
+// hash would contain the entire bounding box of every tree.
+func (s *Searcher) coversAllTrees(w float64) bool {
+	for i, tr := range s.idx.trees {
+		b := tr.Bounds()
+		half := float32(w / 2)
+		for j, ctr := range s.qhash[i] {
+			if b.Min[j] < ctr-half || b.Max[j] > ctr+half {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finalSweep verifies all remaining unvisited points through the first tree
+// (every point appears in every tree, so one suffices), respecting budget.
+func (s *Searcher) finalSweep(q []float32, cand *vec.TopK, cnt *int, budget int) {
+	idx := s.idx
+	tr := idx.trees[0]
+	tr.Window(tr.Bounds(), func(id int) bool {
+		if s.visited[id] == s.epoch {
+			return true
+		}
+		s.visited[id] = s.epoch
+		if idx.isDeleted(id) {
+			return true
+		}
+		cand.Push(id, vec.Dist(q, idx.data.Row(id)))
+		*cnt++
+		return *cnt < budget
+	})
+}
+
+// RNear answers a single (r,c)-NN query (Algorithm 1): it returns a point
+// within c·r of q if one is found before the 2tL+1 candidate budget runs
+// out, the budget-exhausting candidate otherwise, or ok = false when the L
+// window queries complete without either condition triggering.
+func (s *Searcher) RNear(q []float32, r float64) (vec.Neighbor, bool) {
+	idx := s.idx
+	if len(q) != idx.data.Dim() {
+		panic(fmt.Sprintf("core: query dim %d, index dim %d", len(q), idx.data.Dim()))
+	}
+	s.last = Stats{Rounds: 1, FinalR: r}
+	if idx.data.Rows() == 0 {
+		return vec.Neighbor{}, false
+	}
+	s.freshEpoch()
+	for i := 0; i < idx.cfg.L; i++ {
+		s.qhash[i] = idx.family.Compound(i).Hash(s.qhash[i][:0], q)
+	}
+
+	budget := 2*idx.cfg.T*idx.cfg.L + 1
+	cnt := 0
+	c := idx.cfg.C
+	var found vec.Neighbor
+	ok := false
+	for i := 0; i < idx.cfg.L && !ok; i++ {
+		w := rstar.WindowRect(s.qhash[i], idx.cfg.W0*r)
+		idx.trees[i].Window(w, func(id int) bool {
+			if s.visited[id] == s.epoch {
+				return true
+			}
+			s.visited[id] = s.epoch
+			if idx.isDeleted(id) {
+				return true
+			}
+			dist := vec.Dist(q, idx.data.Row(id))
+			cnt++
+			if cnt >= budget || dist <= c*r {
+				found, ok = vec.Neighbor{ID: id, Dist: dist}, true
+				return false
+			}
+			return true
+		})
+	}
+	s.last.Candidates = cnt
+	return found, ok
+}

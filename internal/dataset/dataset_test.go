@@ -1,0 +1,151 @@
+package dataset
+
+import (
+	"testing"
+
+	"dblsh/internal/vec"
+)
+
+func tinyProfile() Profile {
+	return Profile{Name: "tiny", N: 500, Dim: 16, Queries: 10, Clusters: 5, Std: 1, Spread: 10, Seed: 42}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	ds := Generate(tinyProfile())
+	if ds.Data.Rows() != 500 || ds.Data.Dim() != 16 {
+		t.Fatalf("data shape %d×%d", ds.Data.Rows(), ds.Data.Dim())
+	}
+	if ds.Queries.Rows() != 10 || ds.Queries.Dim() != 16 {
+		t.Fatalf("query shape %d×%d", ds.Queries.Rows(), ds.Queries.Dim())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(tinyProfile())
+	b := Generate(tinyProfile())
+	for i := 0; i < a.Data.Rows(); i++ {
+		ra, rb := a.Data.Row(i), b.Data.Row(i)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("row %d differs between identical seeds", i)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	p1 := tinyProfile()
+	p2 := tinyProfile()
+	p2.Seed = 43
+	a, b := Generate(p1), Generate(p2)
+	same := true
+	for j := 0; j < a.Data.Dim(); j++ {
+		if a.Data.Row(0)[j] != b.Data.Row(0)[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical first rows")
+	}
+}
+
+// Cluster structure must produce the LSH-relevant property: nearest-neighbor
+// distance ≪ average pairwise distance.
+func TestClusterContrast(t *testing.T) {
+	ds := Generate(Profile{Name: "c", N: 2000, Dim: 32, Queries: 20, Clusters: 10, Std: 1, Spread: 10, Seed: 7})
+	truth := GroundTruth(ds.Data, ds.Queries, 1)
+	var nnSum float64
+	for _, tr := range truth {
+		nnSum += tr[0].Dist
+	}
+	nnAvg := nnSum / float64(len(truth))
+
+	var pairSum float64
+	count := 0
+	for i := 0; i < 100; i++ {
+		for j := i + 1; j < 100; j++ {
+			pairSum += vec.Dist(ds.Data.Row(i), ds.Data.Row(j))
+			count++
+		}
+	}
+	pairAvg := pairSum / float64(count)
+	if nnAvg*2 > pairAvg {
+		t.Fatalf("contrast too low: nnAvg=%v pairAvg=%v", nnAvg, pairAvg)
+	}
+}
+
+func TestGroundTruthSortedAndExact(t *testing.T) {
+	ds := Generate(tinyProfile())
+	truth := GroundTruth(ds.Data, ds.Queries, 10)
+	if len(truth) != 10 {
+		t.Fatalf("truth for %d queries", len(truth))
+	}
+	for qi, tr := range truth {
+		if len(tr) != 10 {
+			t.Fatalf("query %d: %d neighbors", qi, len(tr))
+		}
+		q := ds.Queries.Row(qi)
+		prev := -1.0
+		for _, nb := range tr {
+			if nb.Dist < prev {
+				t.Fatalf("query %d: truth not sorted", qi)
+			}
+			prev = nb.Dist
+			if got := vec.Dist(q, ds.Data.Row(nb.ID)); got != nb.Dist {
+				t.Fatalf("query %d: stored dist %v, recomputed %v", qi, nb.Dist, got)
+			}
+		}
+		// No data point may be closer than the k-th reported.
+		kth := tr[len(tr)-1].Dist
+		closer := 0
+		for i := 0; i < ds.Data.Rows(); i++ {
+			if vec.Dist(q, ds.Data.Row(i)) < kth {
+				closer++
+			}
+		}
+		if closer > 10 {
+			t.Fatalf("query %d: %d points closer than reported k-th", qi, closer)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := tinyProfile().Scaled(0.5)
+	if p.N != 250 {
+		t.Fatalf("scaled N = %d", p.N)
+	}
+	ds := Generate(p)
+	if ds.Data.Rows() != 250 {
+		t.Fatalf("rows = %d", ds.Data.Rows())
+	}
+}
+
+func TestProfileTables(t *testing.T) {
+	if len(All()) != 10 {
+		t.Fatalf("All() has %d profiles, want 10 (Table III)", len(All()))
+	}
+	seen := map[string]bool{}
+	for _, p := range All() {
+		if p.N <= 0 || p.Dim <= 0 {
+			t.Fatalf("invalid profile %+v", p)
+		}
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	for _, p := range Small() {
+		if p.N > 20_000 {
+			t.Fatalf("Small profile too big: %+v", p)
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	p := Profile{Name: "bench", N: 50_000, Dim: 128, Queries: 10, Clusters: 50, Std: 1, Spread: 10, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Generate(p)
+	}
+}

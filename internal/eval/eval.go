@@ -1,0 +1,131 @@
+// Package eval computes the paper's quality metrics — overall ratio (Eq. 11)
+// and recall (Eq. 12) — and aggregates per-query measurements into the
+// averages Table IV reports.
+package eval
+
+import (
+	"math"
+	"time"
+
+	"dblsh/internal/vec"
+)
+
+// OverallRatio computes Eq. 11:
+//
+//	(1/k) Σ_i ‖q,o_i‖ / ‖q,o*_i‖
+//
+// for a returned set and the exact k-NN, both sorted ascending by distance.
+// A perfect result scores 1.0. When the returned set is shorter than the
+// truth (an algorithm returned fewer than k points), the missing ranks are
+// scored against the dataset's worst case by convention: they contribute the
+// ratio of the farthest returned point, or 1.0 if nothing was returned.
+// Exact zero distances in the truth are skipped to avoid division by zero
+// (a query identical to a data point).
+func OverallRatio(result, truth []vec.Neighbor) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	var sum float64
+	counted := 0
+	for i, tr := range truth {
+		if tr.Dist == 0 {
+			continue
+		}
+		var got float64
+		if i < len(result) {
+			got = result[i].Dist
+		} else if len(result) > 0 {
+			got = result[len(result)-1].Dist
+		} else {
+			got = tr.Dist
+		}
+		sum += got / tr.Dist
+		counted++
+	}
+	if counted == 0 {
+		return 1
+	}
+	return sum / float64(counted)
+}
+
+// Recall computes Eq. 12: |R ∩ R*| / k, matching by point id.
+func Recall(result, truth []vec.Neighbor) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	truthIDs := make(map[int]struct{}, len(truth))
+	for _, t := range truth {
+		truthIDs[t.ID] = struct{}{}
+	}
+	hit := 0
+	for _, r := range result {
+		if _, ok := truthIDs[r.ID]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// QueryResult records one query's outcome.
+type QueryResult struct {
+	Time       time.Duration
+	Recall     float64
+	Ratio      float64
+	Candidates int // exact distance computations performed
+}
+
+// Aggregate summarizes query results the way Table IV reports them.
+type Aggregate struct {
+	Queries       int
+	AvgTime       time.Duration
+	AvgRecall     float64
+	AvgRatio      float64
+	AvgCandidates float64
+	P95Time       time.Duration
+}
+
+// Summarize folds per-query results into an Aggregate.
+func Summarize(results []QueryResult) Aggregate {
+	var a Aggregate
+	a.Queries = len(results)
+	if a.Queries == 0 {
+		return a
+	}
+	times := make([]time.Duration, 0, len(results))
+	var totalTime time.Duration
+	var recall, ratio, cands float64
+	for _, r := range results {
+		totalTime += r.Time
+		recall += r.Recall
+		ratio += r.Ratio
+		cands += float64(r.Candidates)
+		times = append(times, r.Time)
+	}
+	n := float64(a.Queries)
+	a.AvgTime = totalTime / time.Duration(a.Queries)
+	a.AvgRecall = recall / n
+	a.AvgRatio = ratio / n
+	a.AvgCandidates = cands / n
+	a.P95Time = percentileDuration(times, 0.95)
+	return a
+}
+
+func percentileDuration(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

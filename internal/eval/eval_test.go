@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dblsh/internal/vec"
+)
+
+func nbs(pairs ...float64) []vec.Neighbor {
+	out := make([]vec.Neighbor, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, vec.Neighbor{ID: int(pairs[i]), Dist: pairs[i+1]})
+	}
+	return out
+}
+
+func TestRecallPerfect(t *testing.T) {
+	truth := nbs(1, 1.0, 2, 2.0, 3, 3.0)
+	if r := Recall(truth, truth); r != 1 {
+		t.Fatalf("Recall = %v", r)
+	}
+}
+
+func TestRecallPartial(t *testing.T) {
+	truth := nbs(1, 1.0, 2, 2.0, 3, 3.0, 4, 4.0)
+	got := nbs(1, 1.0, 9, 1.5, 3, 3.0, 8, 9.0)
+	if r := Recall(got, truth); r != 0.5 {
+		t.Fatalf("Recall = %v, want 0.5", r)
+	}
+}
+
+func TestRecallEmptyResult(t *testing.T) {
+	truth := nbs(1, 1.0)
+	if r := Recall(nil, truth); r != 0 {
+		t.Fatalf("Recall = %v, want 0", r)
+	}
+	if r := Recall(nil, nil); r != 1 {
+		t.Fatalf("Recall on empty truth = %v, want 1", r)
+	}
+}
+
+func TestOverallRatioPerfect(t *testing.T) {
+	truth := nbs(1, 1.0, 2, 2.0)
+	if r := OverallRatio(truth, truth); r != 1 {
+		t.Fatalf("ratio = %v", r)
+	}
+}
+
+func TestOverallRatioApproximate(t *testing.T) {
+	truth := nbs(1, 1.0, 2, 2.0)
+	got := nbs(5, 1.5, 6, 2.0)
+	want := (1.5/1.0 + 2.0/2.0) / 2
+	if r := OverallRatio(got, truth); math.Abs(r-want) > 1e-12 {
+		t.Fatalf("ratio = %v, want %v", r, want)
+	}
+}
+
+func TestOverallRatioShortResult(t *testing.T) {
+	truth := nbs(1, 1.0, 2, 2.0, 3, 4.0)
+	got := nbs(1, 1.0)
+	// Ranks 2 and 3 score the farthest returned distance 1.0:
+	// (1/1 + 1/2 + 1/4) / 3
+	want := (1.0 + 0.5 + 0.25) / 3
+	if r := OverallRatio(got, truth); math.Abs(r-want) > 1e-12 {
+		t.Fatalf("ratio = %v, want %v", r, want)
+	}
+}
+
+func TestOverallRatioZeroTruthDistSkipped(t *testing.T) {
+	truth := nbs(1, 0.0, 2, 2.0)
+	got := nbs(1, 0.0, 2, 3.0)
+	if r := OverallRatio(got, truth); math.Abs(r-1.5) > 1e-12 {
+		t.Fatalf("ratio = %v, want 1.5", r)
+	}
+}
+
+func TestOverallRatioNeverBelowOneForValidResults(t *testing.T) {
+	// Result distances are ≥ truth distances rank by rank, so ratio ≥ 1.
+	truth := nbs(1, 1.0, 2, 2.0, 3, 3.0)
+	got := nbs(4, 1.1, 5, 2.5, 6, 3.0)
+	if r := OverallRatio(got, truth); r < 1 {
+		t.Fatalf("ratio = %v < 1", r)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results := []QueryResult{
+		{Time: 10 * time.Millisecond, Recall: 1.0, Ratio: 1.0, Candidates: 100},
+		{Time: 20 * time.Millisecond, Recall: 0.5, Ratio: 1.5, Candidates: 300},
+	}
+	a := Summarize(results)
+	if a.Queries != 2 {
+		t.Fatalf("Queries = %d", a.Queries)
+	}
+	if a.AvgTime != 15*time.Millisecond {
+		t.Fatalf("AvgTime = %v", a.AvgTime)
+	}
+	if a.AvgRecall != 0.75 || a.AvgRatio != 1.25 || a.AvgCandidates != 200 {
+		t.Fatalf("bad aggregate %+v", a)
+	}
+	if a.P95Time != 20*time.Millisecond {
+		t.Fatalf("P95Time = %v", a.P95Time)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	a := Summarize(nil)
+	if a.Queries != 0 || a.AvgTime != 0 {
+		t.Fatalf("empty aggregate %+v", a)
+	}
+}

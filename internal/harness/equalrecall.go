@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dblsh/internal/baseline/e2lsh"
+	"dblsh/internal/baseline/fblsh"
+	"dblsh/internal/baseline/lsb"
+	"dblsh/internal/baseline/pmlsh"
+	"dblsh/internal/baseline/qalsh"
+	"dblsh/internal/baseline/r2lsh"
+	"dblsh/internal/baseline/vhp"
+	"dblsh/internal/core"
+	"dblsh/internal/dataset"
+	"dblsh/internal/vec"
+)
+
+// EqualAccuracyRow is one algorithm's cheapest configuration that reaches
+// the target recall.
+type EqualAccuracyRow struct {
+	Algo     string
+	Reached  bool
+	Recall   float64
+	Budget   int // candidate constant t at which the target was reached
+	AvgTime  time.Duration
+	AvgRatio float64
+}
+
+// budgetedAlgo builds an algorithm at a given candidate constant t (the
+// QALSH/PM-LSH β is derived from t so every method verifies ≈ 2tL+k points).
+type budgetedAlgo struct {
+	name  string
+	build func(data *vec.Matrix, p Params, t int) SearchFunc
+}
+
+func budgetedAlgos() []budgetedAlgo {
+	beta := func(data *vec.Matrix, p Params, t int) float64 {
+		if n := data.Rows(); n > 0 {
+			return float64(2*t*p.L) / float64(n)
+		}
+		return 0.1
+	}
+	return []budgetedAlgo{
+		{"DB-LSH", func(data *vec.Matrix, p Params, t int) SearchFunc {
+			idx := core.Build(data, core.Config{C: p.C, W0: p.W0, K: p.K, L: p.L, T: t, Seed: p.Seed})
+			return func(q []float32, k int) []vec.Neighbor { return idx.KANN(q, k) }
+		}},
+		{"FB-LSH", func(data *vec.Matrix, p Params, t int) SearchFunc {
+			return fblsh.Build(data, fblsh.Config{C: p.C, W0: p.W0, K: p.K, L: p.L, T: t, Seed: p.Seed}).KANN
+		}},
+		{"E2LSH", func(data *vec.Matrix, p Params, t int) SearchFunc {
+			return e2lsh.Build(data, e2lsh.Config{C: p.C, W0: p.W0, K: p.K, L: p.L, T: t, Seed: p.Seed}).KANN
+		}},
+		{"QALSH", func(data *vec.Matrix, p Params, t int) SearchFunc {
+			return qalsh.Build(data, qalsh.Config{C: p.C, Beta: beta(data, p, t), Seed: p.Seed}).KANN
+		}},
+		{"R2LSH", func(data *vec.Matrix, p Params, t int) SearchFunc {
+			return r2lsh.Build(data, r2lsh.Config{C: p.C, Beta: beta(data, p, t), Seed: p.Seed}).KANN
+		}},
+		{"VHP", func(data *vec.Matrix, p Params, t int) SearchFunc {
+			return vhp.Build(data, vhp.Config{C: p.C, Beta: beta(data, p, t), Seed: p.Seed}).KANN
+		}},
+		{"PM-LSH", func(data *vec.Matrix, p Params, t int) SearchFunc {
+			return pmlsh.Build(data, pmlsh.Config{M: 15, Beta: beta(data, p, t), C: p.C, Seed: p.Seed}).KANN
+		}},
+		{"LSB-Forest", func(data *vec.Matrix, p Params, t int) SearchFunc {
+			return lsb.Build(data, lsb.Config{K: p.K, L: p.L, T: t, Seed: p.Seed}).KANN
+		}},
+	}
+}
+
+// defaultBudgetLadder is the sequence of candidate constants tried in order.
+var defaultBudgetLadder = []int{5, 10, 25, 50, 100, 200, 400, 800}
+
+// EqualAccuracy reproduces the paper's headline comparison directly: for
+// each algorithm it walks a budget ladder until the average recall reaches
+// target, then reports the query time at that first sufficient budget. The
+// paper's "DB-LSH reduces query time by an average of 40% over the second
+// best competitor" is a statement about exactly this table.
+func EqualAccuracy(w io.Writer, p dataset.Profile, params Params, k int, target float64) []EqualAccuracyRow {
+	ds := dataset.Generate(p)
+	truth := dataset.GroundTruth(ds.Data, ds.Queries, k)
+
+	fmt.Fprintf(w, "Equal-accuracy comparison on %s — time to reach recall ≥ %.2f (k=%d)\n", p.Name, target, k)
+	fmt.Fprintf(w, "  %-12s %8s %8s %14s %12s\n", "Algorithm", "t", "recall", "QueryTime", "OverallRatio")
+
+	var rows []EqualAccuracyRow
+	for _, ba := range budgetedAlgos() {
+		row := EqualAccuracyRow{Algo: ba.name}
+		for _, t := range defaultBudgetLadder {
+			r := RunWorkload(Algo{Name: ba.name, Build: func(data *vec.Matrix) SearchFunc {
+				return ba.build(data, params, t)
+			}}, ds, truth, k)
+			row.Recall = r.Agg.AvgRecall
+			row.Budget = t
+			row.AvgTime = r.Agg.AvgTime
+			row.AvgRatio = r.Agg.AvgRatio
+			if r.Agg.AvgRecall >= target {
+				row.Reached = true
+				break
+			}
+		}
+		rows = append(rows, row)
+		mark := ""
+		if !row.Reached {
+			mark = "  (target not reached at max budget)"
+		}
+		fmt.Fprintf(w, "  %-12s %8d %8.4f %14v %12.4f%s\n",
+			row.Algo, row.Budget, row.Recall, row.AvgTime.Round(time.Microsecond), row.AvgRatio, mark)
+	}
+	return rows
+}

@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"dblsh/internal/dataset"
+)
+
+func smallProfile() dataset.Profile {
+	return dataset.Profile{
+		Name: "harness", N: 4000, Dim: 32, Queries: 10,
+		Clusters: 8, Std: 1, Spread: 10, SubClusters: 25, Seed: 9,
+	}
+}
+
+func smallParams() Params {
+	p := DefaultParams()
+	p.K = 8
+	p.T = 50
+	return p
+}
+
+func TestStandardAlgosComplete(t *testing.T) {
+	algos := StandardAlgos(DefaultParams())
+	want := []string{"DB-LSH", "FB-LSH", "E2LSH", "QALSH", "R2LSH", "VHP", "PM-LSH", "LSB-Forest"}
+	if len(algos) != len(want) {
+		t.Fatalf("got %d algorithms, want %d", len(algos), len(want))
+	}
+	for i, a := range algos {
+		if a.Name != want[i] {
+			t.Fatalf("algos[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+	withScan := WithScan(algos)
+	if withScan[len(withScan)-1].Name != "Scan" {
+		t.Fatal("WithScan did not append Scan")
+	}
+}
+
+func TestRunProfileProducesSaneRows(t *testing.T) {
+	rs := RunProfile(smallProfile(), StandardAlgos(smallParams()), 10)
+	if len(rs) != 8 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	var dblsh Result
+	for _, r := range rs {
+		if r.Agg.Queries != 10 {
+			t.Fatalf("%s: %d queries", r.Algo, r.Agg.Queries)
+		}
+		if r.Agg.AvgRecall < 0 || r.Agg.AvgRecall > 1 {
+			t.Fatalf("%s: recall %v", r.Algo, r.Agg.AvgRecall)
+		}
+		if r.Agg.AvgRatio < 1-1e-9 {
+			t.Fatalf("%s: ratio %v below 1", r.Algo, r.Agg.AvgRatio)
+		}
+		if r.Agg.AvgTime <= 0 || r.BuildTime <= 0 {
+			t.Fatalf("%s: non-positive timings %+v", r.Algo, r)
+		}
+		if r.Algo == "DB-LSH" {
+			dblsh = r
+		}
+	}
+	// The headline claim at small scale: DB-LSH's recall is competitive
+	// (within 5% of the best) — at full scale it wins outright (see
+	// EXPERIMENTS.md).
+	best := 0.0
+	for _, r := range rs {
+		if r.Agg.AvgRecall > best {
+			best = r.Agg.AvgRecall
+		}
+	}
+	if dblsh.Agg.AvgRecall < best-0.05 {
+		t.Errorf("DB-LSH recall %.3f not within 0.05 of best %.3f", dblsh.Agg.AvgRecall, best)
+	}
+}
+
+func TestFig4Output(t *testing.T) {
+	var buf bytes.Buffer
+	Fig4(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "rho*") || !strings.Contains(out, "4.0c²") {
+		t.Fatalf("unexpected Fig4 output:\n%s", out)
+	}
+	// At γ=2 the header must show α ≈ 4.746.
+	if !strings.Contains(out, "4.746") {
+		t.Fatalf("Fig4 must surface the paper's α=4.746 constant:\n%s", out)
+	}
+}
+
+func TestVaryNSeries(t *testing.T) {
+	series := VaryN(io.Discard, smallProfile(), []float64{0.5, 1.0}, smallParams(), 5)
+	if len(series) != 8 {
+		t.Fatalf("series for %d algorithms", len(series))
+	}
+	for algo, rs := range series {
+		if len(rs) != 2 {
+			t.Fatalf("%s: %d points", algo, len(rs))
+		}
+	}
+}
+
+func TestVaryKRuns(t *testing.T) {
+	var buf bytes.Buffer
+	VaryK(&buf, smallProfile(), []int{1, 10}, smallParams())
+	if !strings.Contains(buf.String(), "DB-LSH") {
+		t.Fatal("VaryK produced no rows")
+	}
+}
+
+func TestTradeoffRuns(t *testing.T) {
+	out := Tradeoff(io.Discard, smallProfile(), []float64{1.5, 2.5}, smallParams(), 5)
+	for algo, pts := range out {
+		if len(pts) != 2 {
+			t.Fatalf("%s: %d tradeoff points", algo, len(pts))
+		}
+	}
+}
+
+func TestTable1Exponents(t *testing.T) {
+	exps := Table1(io.Discard, smallProfile(), []float64{0.25, 0.5, 1.0}, smallParams(), 5)
+	if len(exps) != 8 {
+		t.Fatalf("exponents for %d algorithms", len(exps))
+	}
+	// At this tiny scale per-query latencies are microseconds and the fit is
+	// dominated by timer noise, so only check the values are finite numbers;
+	// the meaningful exponent comparison happens at full scale (see
+	// EXPERIMENTS.md).
+	for algo, e := range exps {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Fatalf("%s: non-finite exponent %v", algo, e)
+		}
+	}
+}
+
+func TestSlope(t *testing.T) {
+	// y = 2x + 1 exactly.
+	if s := slope([]float64{0, 1, 2}, []float64{1, 3, 5}); s != 2 {
+		t.Fatalf("slope = %v", s)
+	}
+	if s := slope([]float64{1}, []float64{1}); s != 0 {
+		t.Fatalf("degenerate slope = %v", s)
+	}
+}
+
+func TestTable4SmokeTest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table4 on even a small profile is slow")
+	}
+	var buf bytes.Buffer
+	p := smallProfile()
+	p.N = 2000
+	Table4(&buf, []dataset.Profile{p}, smallParams(), 5)
+	out := buf.String()
+	for _, name := range []string{"DB-LSH", "FB-LSH", "E2LSH", "QALSH", "R2LSH", "VHP", "PM-LSH", "LSB-Forest"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table4 output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestEqualAccuracy(t *testing.T) {
+	var buf bytes.Buffer
+	rows := EqualAccuracy(&buf, smallProfile(), smallParams(), 10, 0.6)
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Budget == 0 || r.AvgTime <= 0 {
+			t.Fatalf("%s: empty row %+v", r.Algo, r)
+		}
+		if r.Reached && r.Recall < 0.6 {
+			t.Fatalf("%s: reached but recall %v", r.Algo, r.Recall)
+		}
+		if r.Algo == "DB-LSH" && !r.Reached {
+			t.Errorf("DB-LSH failed to reach recall 0.6 at any budget")
+		}
+	}
+	if !strings.Contains(buf.String(), "Equal-accuracy") {
+		t.Fatal("missing header")
+	}
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"dblsh/internal/plot"
+)
+
+// PlotVaryN renders the Fig. 5 series (query time vs dataset fraction) as an
+// ASCII chart: one line per algorithm, log-scale time.
+func PlotVaryN(w io.Writer, title string, fractions []float64, series map[string][]Result) error {
+	c := plot.Chart{
+		Title:  title,
+		XLabel: "fraction of n",
+		YLabel: "avg query time (ms)",
+		LogY:   true,
+	}
+	for _, a := range algoOrder(series) {
+		rs := series[a]
+		if len(rs) != len(fractions) {
+			return fmt.Errorf("harness: series %q has %d points for %d fractions", a, len(rs), len(fractions))
+		}
+		ys := make([]float64, len(rs))
+		for i, r := range rs {
+			ys[i] = float64(r.Agg.AvgTime.Microseconds()) / 1000
+			if ys[i] <= 0 {
+				ys[i] = 0.001
+			}
+		}
+		if err := c.Add(a, fractions, ys); err != nil {
+			return err
+		}
+	}
+	return c.Render(w)
+}
+
+// PlotTradeoff renders the Fig. 9 recall–time curves: x = query time (ms,
+// log), y = recall. The up-and-left-most curve wins.
+func PlotTradeoff(w io.Writer, title string, series map[string][]TradeoffPoint) error {
+	c := plot.Chart{
+		Title:  title,
+		XLabel: "avg query time (ms)",
+		YLabel: "recall",
+	}
+	for _, a := range algoOrder2(series) {
+		pts := series[a]
+		xs := make([]float64, len(pts))
+		ys := make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i] = float64(p.Time.Microseconds()) / 1000
+			ys[i] = p.Recall
+		}
+		if err := c.Add(a, xs, ys); err != nil {
+			return err
+		}
+	}
+	return c.Render(w)
+}
+
+// algoOrder returns the map's keys in the canonical StandardAlgos order;
+// names outside the canonical set are not plotted.
+func algoOrder(m map[string][]Result) []string {
+	return orderKeys(func(name string) bool { _, ok := m[name]; return ok }, len(m))
+}
+
+func algoOrder2(m map[string][]TradeoffPoint) []string {
+	return orderKeys(func(name string) bool { _, ok := m[name]; return ok }, len(m))
+}
+
+func orderKeys(has func(string) bool, n int) []string {
+	canonical := []string{"DB-LSH", "FB-LSH", "E2LSH", "QALSH", "R2LSH", "VHP", "PM-LSH", "LSB-Forest", "Scan"}
+	out := make([]string, 0, n)
+	for _, name := range canonical {
+		if has(name) {
+			out = append(out, name)
+		}
+	}
+	return out
+}

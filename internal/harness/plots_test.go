@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dblsh/internal/eval"
+)
+
+func fakeSeries() map[string][]Result {
+	mk := func(times ...time.Duration) []Result {
+		out := make([]Result, len(times))
+		for i, tm := range times {
+			out[i] = Result{Agg: eval.Aggregate{AvgTime: tm, AvgRecall: 0.9}}
+		}
+		return out
+	}
+	return map[string][]Result{
+		"DB-LSH": mk(1*time.Millisecond, 2*time.Millisecond, 3*time.Millisecond),
+		"QALSH":  mk(10*time.Millisecond, 30*time.Millisecond, 90*time.Millisecond),
+	}
+}
+
+func TestPlotVaryN(t *testing.T) {
+	var buf bytes.Buffer
+	err := PlotVaryN(&buf, "fig5", []float64{0.2, 0.6, 1.0}, fakeSeries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig5", "DB-LSH", "QALSH", "fraction of n", "log scale"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotVaryNLengthMismatch(t *testing.T) {
+	err := PlotVaryN(&bytes.Buffer{}, "fig5", []float64{0.5}, fakeSeries())
+	if err == nil {
+		t.Fatal("fraction/series length mismatch must error")
+	}
+}
+
+func TestPlotTradeoff(t *testing.T) {
+	series := map[string][]TradeoffPoint{
+		"DB-LSH": {
+			{C: 1.2, Time: 3 * time.Millisecond, Recall: 0.95},
+			{C: 2.0, Time: 1 * time.Millisecond, Recall: 0.7},
+		},
+		"PM-LSH": {
+			{C: 1.2, Time: 9 * time.Millisecond, Recall: 0.9},
+			{C: 2.0, Time: 4 * time.Millisecond, Recall: 0.6},
+		},
+	}
+	var buf bytes.Buffer
+	if err := PlotTradeoff(&buf, "fig9", series); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "recall") || !strings.Contains(out, "PM-LSH") {
+		t.Fatalf("unexpected plot:\n%s", out)
+	}
+}
+
+func TestAlgoOrderCanonical(t *testing.T) {
+	got := algoOrder(map[string][]Result{"QALSH": nil, "DB-LSH": nil})
+	if len(got) != 2 || got[0] != "DB-LSH" || got[1] != "QALSH" {
+		t.Fatalf("order = %v", got)
+	}
+}

@@ -1,0 +1,160 @@
+// Package lsh implements the p-stable locality-sensitive hash families used
+// by DB-LSH and its baselines.
+//
+// Two families are provided:
+//
+//   - Projection — the dynamic family h(o) = a·o of Eq. 3, where a is drawn
+//     from the standard (2-stable) normal distribution. Two points collide
+//     when their projections differ by at most w/2; the bucket is chosen at
+//     query time, which is what makes DB-LSH's query-centric bucketing
+//     possible.
+//   - Bucketed — the static E2LSH family h(o) = ⌊(a·o+b)/w⌋ of Eq. 1 with a
+//     fixed width w and a random offset b ∈ [0,w).
+//
+// A Compound bundles K independent projections into one K-dimensional hash
+// G(o) = (h1(o),…,hK(o)) (Eq. 6); a Family holds L independent compounds
+// (Eq. 7). All randomness is drawn from a caller-seeded source so index
+// construction is reproducible.
+package lsh
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dblsh/internal/vec"
+)
+
+// Projection is a single dynamic LSH function h(o) = a·o.
+type Projection struct {
+	a []float32
+}
+
+// NewProjection draws a projection vector of dimension d with entries from
+// N(0,1) using rng.
+func NewProjection(d int, rng *rand.Rand) Projection {
+	a := make([]float32, d)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+	}
+	return Projection{a: a}
+}
+
+// Dim returns the input dimensionality.
+func (p Projection) Dim() int { return len(p.a) }
+
+// Hash returns h(o) = a·o.
+func (p Projection) Hash(o []float32) float64 { return vec.Dot(p.a, o) }
+
+// Bucketed is a static E2LSH function h(o) = ⌊(a·o+b)/w⌋.
+type Bucketed struct {
+	proj Projection
+	b    float64
+	w    float64
+}
+
+// NewBucketed draws a static hash function for dimension d and width w.
+func NewBucketed(d int, w float64, rng *rand.Rand) Bucketed {
+	if w <= 0 {
+		panic(fmt.Sprintf("lsh: bucket width must be positive, got %v", w))
+	}
+	return Bucketed{proj: NewProjection(d, rng), b: rng.Float64() * w, w: w}
+}
+
+// Hash returns the bucket index of o.
+func (h Bucketed) Hash(o []float32) int64 {
+	v := (h.proj.Hash(o) + h.b) / h.w
+	// Floor toward −∞ for negatives.
+	iv := int64(v)
+	if v < 0 && float64(iv) != v {
+		iv--
+	}
+	return iv
+}
+
+// Width returns the bucket width w.
+func (h Bucketed) Width() float64 { return h.w }
+
+// Compound is a K-dimensional compound hash G(o) = (h1(o),…,hK(o)) over the
+// dynamic family. The projection vectors are stored contiguously so hashing
+// one point touches one cache-friendly block.
+type Compound struct {
+	k, d int
+	a    []float32 // k rows of d entries each
+}
+
+// NewCompound draws K independent projections of dimension d.
+func NewCompound(k, d int, rng *rand.Rand) *Compound {
+	if k <= 0 || d <= 0 {
+		panic(fmt.Sprintf("lsh: invalid compound shape K=%d d=%d", k, d))
+	}
+	a := make([]float32, k*d)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+	}
+	return &Compound{k: k, d: d, a: a}
+}
+
+// K returns the number of component hash functions.
+func (g *Compound) K() int { return g.k }
+
+// Dim returns the input dimensionality.
+func (g *Compound) Dim() int { return g.d }
+
+// Hash computes G(o), appending the K projected coordinates to dst and
+// returning the extended slice. Pass dst = nil to allocate.
+func (g *Compound) Hash(dst []float32, o []float32) []float32 {
+	if len(o) != g.d {
+		panic(fmt.Sprintf("lsh: point dim %d, compound expects %d", len(o), g.d))
+	}
+	for i := 0; i < g.k; i++ {
+		row := g.a[i*g.d : (i+1)*g.d]
+		dst = append(dst, float32(vec.Dot(row, o)))
+	}
+	return dst
+}
+
+// Project maps an entire dataset into this compound's K-dimensional space,
+// returning an n×K matrix.
+func (g *Compound) Project(data *vec.Matrix) *vec.Matrix {
+	if data.Dim() != g.d {
+		panic(fmt.Sprintf("lsh: data dim %d, compound expects %d", data.Dim(), g.d))
+	}
+	n := data.Rows()
+	out := vec.NewMatrix(n, g.k)
+	for i := 0; i < n; i++ {
+		row := out.Row(i)[:0]
+		g.Hash(row, data.Row(i))
+	}
+	return out
+}
+
+// Family is L independent compound hashes G1,…,GL (Eq. 7).
+type Family struct {
+	compounds []*Compound
+}
+
+// NewFamily draws L independent compounds with K functions of dimension d,
+// all from the given seed. The same seed always yields the same family.
+func NewFamily(l, k, d int, seed int64) *Family {
+	if l <= 0 {
+		panic(fmt.Sprintf("lsh: family needs L ≥ 1, got %d", l))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cs := make([]*Compound, l)
+	for i := range cs {
+		cs[i] = NewCompound(k, d, rng)
+	}
+	return &Family{compounds: cs}
+}
+
+// L returns the number of compounds.
+func (f *Family) L() int { return len(f.compounds) }
+
+// K returns the per-compound hash count.
+func (f *Family) K() int { return f.compounds[0].k }
+
+// Dim returns the input dimensionality.
+func (f *Family) Dim() int { return f.compounds[0].d }
+
+// Compound returns the i-th compound hash Gi.
+func (f *Family) Compound(i int) *Compound { return f.compounds[i] }

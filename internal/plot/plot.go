@@ -1,0 +1,204 @@
+// Package plot renders simple ASCII line charts for the benchmark CLI, so
+// the "figures" of the paper can be eyeballed directly in a terminal:
+// multiple named series over a shared x-axis, down-sampled onto a fixed
+// character grid.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	marker byte
+}
+
+// Chart is a collection of series with axis labels.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+	LogY   bool
+
+	series []Series
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Add appends a series. X and Y must have equal nonzero length.
+func (c *Chart) Add(name string, x, y []float64) error {
+	if len(x) != len(y) || len(x) == 0 {
+		return fmt.Errorf("plot: series %q has %d x and %d y values", name, len(x), len(y))
+	}
+	for _, v := range append(append([]float64(nil), x...), y...) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("plot: series %q contains a non-finite value", name)
+		}
+	}
+	s := Series{Name: name, X: x, Y: y, marker: markers[len(c.series)%len(markers)]}
+	c.series = append(c.series, s)
+	return nil
+}
+
+// Render writes the chart. Rendering an empty chart writes only the title.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if c.Title != "" {
+		if _, err := fmt.Fprintln(w, c.Title); err != nil {
+			return err
+		}
+	}
+	if len(c.series) == 0 {
+		return nil
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					return fmt.Errorf("plot: log-scale chart %q has y ≤ 0", c.Title)
+				}
+				y = math.Log10(y)
+			}
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range c.series {
+		c.rasterize(grid, s, minX, maxX, minY, maxY, width, height)
+	}
+
+	// Y-axis labels on the first, middle and last rows.
+	unlog := func(v float64) float64 {
+		if c.LogY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for r := 0; r < height; r++ {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.3g", unlog(maxY))
+		case height / 2:
+			label = fmt.Sprintf("%10.3g", unlog((minY+maxY)/2))
+		case height - 1:
+			label = fmt.Sprintf("%10.3g", unlog(minY))
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, grid[r]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-*.3g%*.3g  %s\n",
+		strings.Repeat(" ", 10), width/2, minX, width-width/2, maxX, c.XLabel); err != nil {
+		return err
+	}
+
+	// Legend, in insertion order.
+	var legend []string
+	for _, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.marker, s.Name))
+	}
+	sort.Strings(legend[1:]) // keep the first (usually the headline series) first
+	if _, err := fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", 10), strings.Join(legend, "   ")); err != nil {
+		return err
+	}
+	if c.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s  (y: %s", strings.Repeat(" ", 10), c.YLabel); err != nil {
+			return err
+		}
+		if c.LogY {
+			if _, err := io.WriteString(w, ", log scale"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, ")\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Chart) rasterize(grid [][]byte, s Series, minX, maxX, minY, maxY float64, width, height int) {
+	order := make([]int, len(s.X))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return s.X[order[a]] < s.X[order[b]] })
+
+	toCol := func(x float64) int {
+		col := int((x - minX) / (maxX - minX) * float64(width-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		return col
+	}
+	toRow := func(y float64) int {
+		if c.LogY {
+			y = math.Log10(y)
+		}
+		row := int((maxY - y) / (maxY - minY) * float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		return row
+	}
+
+	prevCol, prevRow := -1, -1
+	for _, i := range order {
+		col, row := toCol(s.X[i]), toRow(s.Y[i])
+		if prevCol >= 0 {
+			// Linear interpolation between consecutive points with '.'.
+			steps := col - prevCol
+			for step := 1; step < steps; step++ {
+				ic := prevCol + step
+				ir := prevRow + (row-prevRow)*step/steps
+				if grid[ir][ic] == ' ' {
+					grid[ir][ic] = '.'
+				}
+			}
+		}
+		grid[row][col] = s.marker
+		prevCol, prevRow = col, row
+	}
+}

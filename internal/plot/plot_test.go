@@ -1,0 +1,132 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAddValidation(t *testing.T) {
+	var c Chart
+	if err := c.Add("bad", []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if err := c.Add("bad", nil, nil); err == nil {
+		t.Fatal("empty series must error")
+	}
+	if err := c.Add("bad", []float64{1}, []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN must error")
+	}
+	if err := c.Add("ok", []float64{1, 2}, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderBasic(t *testing.T) {
+	c := Chart{Title: "test chart", XLabel: "n", YLabel: "time"}
+	if err := c.Add("DB-LSH", []float64{1, 2, 3, 4}, []float64{1, 2, 4, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("QALSH", []float64{1, 2, 3, 4}, []float64{2, 4, 8, 16}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test chart", "DB-LSH", "QALSH", "*", "o", "(y: time)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Plot area has the requested default height of 16 rows plus axes/legend.
+	if lines := strings.Count(out, "\n"); lines < 18 {
+		t.Fatalf("only %d lines rendered", lines)
+	}
+}
+
+func TestRenderEmptyChart(t *testing.T) {
+	c := Chart{Title: "empty"}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "empty\n" {
+		t.Fatalf("empty chart rendered %q", got)
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	c := Chart{Title: "log", LogY: true}
+	if err := c.Add("s", []float64{1, 2, 3}, []float64{1, 100, 10000}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1e+04") && !strings.Contains(out, "10000") {
+		t.Fatalf("log chart missing max label:\n%s", out)
+	}
+	// With log scale the three points are evenly spaced vertically: the
+	// middle label is 100.
+	if !strings.Contains(out, "100") {
+		t.Fatalf("log midpoint missing:\n%s", out)
+	}
+}
+
+func TestRenderLogRejectsNonPositive(t *testing.T) {
+	c := Chart{LogY: true}
+	if err := c.Add("s", []float64{1}, []float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("log chart with y=0 must fail at render")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := Chart{}
+	if err := c.Add("flat", []float64{1, 1, 1}, []float64{5, 5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("constant series not plotted")
+	}
+}
+
+func TestMarkersCycle(t *testing.T) {
+	c := Chart{}
+	for i := 0; i < 10; i++ {
+		if err := c.Add("s", []float64{0, 1}, []float64{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.series[0].marker != c.series[8].marker {
+		t.Fatal("markers should cycle after 8 series")
+	}
+	if c.series[0].marker == c.series[1].marker {
+		t.Fatal("first two series share a marker")
+	}
+}
+
+func TestInterpolationDots(t *testing.T) {
+	c := Chart{Width: 40, Height: 10}
+	if err := c.Add("s", []float64{0, 100}, []float64{0, 100}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ".") {
+		t.Fatal("expected interpolation dots between distant points")
+	}
+}

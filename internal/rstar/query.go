@@ -1,0 +1,213 @@
+package rstar
+
+import "container/heap"
+
+// Window invokes visit for every indexed point inside rect w (faces
+// inclusive). Traversal stops early when visit returns false. The visit order
+// is deterministic for a given tree but otherwise unspecified.
+//
+// This is the index-based window query of the paper's Section IV-C: DB-LSH
+// materializes a query-centric bucket W(G(q), w0·r) as a window query on the
+// projected space.
+func (t *Tree) Window(w Rect, visit func(id int) bool) {
+	if t.size == 0 {
+		return
+	}
+	t.window(t.root, w, visit)
+}
+
+func (t *Tree) window(n *node, w Rect, visit func(id int) bool) bool {
+	if n.leaf {
+		for _, id := range n.ids {
+			if w.Contains(t.point(id)) {
+				if !visit(int(id)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !w.Intersects(c.rect) {
+			continue
+		}
+		if !t.window(c, w, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// WindowAll returns every id inside w. Convenience wrapper over Window.
+func (t *Tree) WindowAll(w Rect) []int {
+	var out []int
+	t.Window(w, func(id int) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of indexed points inside w.
+func (t *Tree) Count(w Rect) int {
+	n := 0
+	t.Window(w, func(int) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// nnItem is a heap entry for best-first search: either a node or a point.
+type nnItem struct {
+	distSq float64
+	n      *node
+	id     int32
+	point  bool
+}
+
+type nnHeap []nnItem
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].distSq < h[j].distSq }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnItem)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NearestK returns the ids of the k nearest indexed points to q in the
+// tree's (projected) space, nearest first, using best-first traversal with
+// MINDIST pruning. Fewer than k ids are returned when the tree is smaller
+// than k.
+func (t *Tree) NearestK(q []float32, k int) []int {
+	out := make([]int, 0, k)
+	t.NearestVisit(q, func(id int, distSq float64) bool {
+		out = append(out, id)
+		return len(out) < k
+	})
+	return out
+}
+
+// NearestVisit streams indexed points in ascending distance-from-q order,
+// calling visit with each id and its squared distance, until visit returns
+// false or the tree is exhausted. This incremental form is what the PM-LSH
+// baseline uses for metric queries in the projected space.
+func (t *Tree) NearestVisit(q []float32, visit func(id int, distSq float64) bool) {
+	if t.size == 0 {
+		return
+	}
+	h := &nnHeap{{distSq: t.root.rect.MinDistSq(q), n: t.root}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(nnItem)
+		if it.point {
+			if !visit(int(it.id), it.distSq) {
+				return
+			}
+			continue
+		}
+		n := it.n
+		if n.leaf {
+			for _, id := range n.ids {
+				heap.Push(h, nnItem{distSq: pointDistSq(q, t.point(id)), id: id, point: true})
+			}
+			continue
+		}
+		for _, c := range n.children {
+			heap.Push(h, nnItem{distSq: c.rect.MinDistSq(q), n: c})
+		}
+	}
+}
+
+// CheckInvariants validates structural invariants and returns a description
+// of the first violation found, or "" when the tree is consistent:
+//
+//   - every node's rect tightly bounds its entries,
+//   - every non-root node has between MinEntries and MaxEntries entries
+//     (leaves packed by bulk loading may be under-filled only at the tail),
+//   - all leaves are at level 0 and levels decrease by one per step,
+//   - Size() equals the number of leaf entries.
+//
+// Intended for tests and debugging; it walks the whole tree.
+func (t *Tree) CheckInvariants() string {
+	total := 0
+	var check func(n *node, isRoot bool) string
+	var checkRect func(n *node) string
+	checkRect = func(n *node) string {
+		if n.leaf {
+			if len(n.ids) == 0 {
+				return ""
+			}
+			want := PointRect(t.point(n.ids[0]))
+			for _, id := range n.ids[1:] {
+				want.ExpandPoint(t.point(id))
+			}
+			for i := range want.Min {
+				if want.Min[i] != n.rect.Min[i] || want.Max[i] != n.rect.Max[i] {
+					return "leaf rect is not tight"
+				}
+			}
+			return ""
+		}
+		want := n.children[0].rect.clone()
+		for _, c := range n.children[1:] {
+			want.ExpandInPlace(c.rect)
+		}
+		for i := range want.Min {
+			if want.Min[i] != n.rect.Min[i] || want.Max[i] != n.rect.Max[i] {
+				return "internal rect is not tight"
+			}
+		}
+		return ""
+	}
+	check = func(n *node, isRoot bool) string {
+		if n.leaf {
+			total += len(n.ids)
+			if n.level != 0 {
+				return "leaf not at level 0"
+			}
+		} else {
+			if len(n.children) == 0 {
+				return "internal node with no children"
+			}
+			for _, c := range n.children {
+				if c.level != n.level-1 {
+					return "child level mismatch"
+				}
+				if !n.rect.ContainsRect(c.rect) {
+					return "child rect outside parent"
+				}
+				if msg := check(c, false); msg != "" {
+					return msg
+				}
+			}
+		}
+		if !isRoot {
+			if n.entryCount() > t.opts.MaxEntries {
+				return "node over capacity"
+			}
+			if n.entryCount() < t.opts.MinEntries {
+				// Bulk loading can leave one trailing under-filled node per
+				// level; tolerate under-fill but not emptiness.
+				if n.entryCount() == 0 {
+					return "empty non-root node"
+				}
+			}
+		}
+		if msg := checkRect(n); msg != "" {
+			return msg
+		}
+		return ""
+	}
+	if msg := check(t.root, true); msg != "" {
+		return msg
+	}
+	if total != t.size {
+		return "size mismatch"
+	}
+	return ""
+}

@@ -1,0 +1,217 @@
+// Package rstar implements an in-memory R*-tree over low-dimensional points,
+// the multi-dimensional index substrate of DB-LSH (Section IV-B of the
+// paper). It supports STR bulk loading, incremental insertion with forced
+// reinsertion, window (hyper-rectangle) queries with early termination, and
+// best-first k-nearest-neighbor search.
+//
+// The tree indexes points only (no extended objects): each entry is an id
+// into a caller-owned row-major matrix of projected coordinates. Dimensions
+// are expected to be small (DB-LSH uses K ≈ 10–12).
+package rstar
+
+import "fmt"
+
+// Rect is an axis-aligned hyper-rectangle. Min and Max have the tree's
+// dimensionality and Min[i] ≤ Max[i] for all i.
+type Rect struct {
+	Min, Max []float32
+}
+
+// NewRect returns a rectangle with the given corners. It panics if the
+// corners disagree in length or are inverted.
+func NewRect(min, max []float32) Rect {
+	if len(min) != len(max) {
+		panic(fmt.Sprintf("rstar: corner dims differ: %d vs %d", len(min), len(max)))
+	}
+	for i := range min {
+		if min[i] > max[i] {
+			panic(fmt.Sprintf("rstar: inverted rect on dim %d: %v > %v", i, min[i], max[i]))
+		}
+	}
+	return Rect{Min: min, Max: max}
+}
+
+// PointRect returns the degenerate rectangle covering a single point.
+func PointRect(p []float32) Rect {
+	min := make([]float32, len(p))
+	max := make([]float32, len(p))
+	copy(min, p)
+	copy(max, p)
+	return Rect{Min: min, Max: max}
+}
+
+// WindowRect returns the hypercubic window of width w centred at c — the
+// query-centric bucket W(G(q), w) of Eq. 8.
+func WindowRect(center []float32, w float64) Rect {
+	half := float32(w / 2)
+	min := make([]float32, len(center))
+	max := make([]float32, len(center))
+	for i, v := range center {
+		min[i] = v - half
+		max[i] = v + half
+	}
+	return Rect{Min: min, Max: max}
+}
+
+// Dim returns the rectangle's dimensionality.
+func (r Rect) Dim() int { return len(r.Min) }
+
+// Area returns the d-dimensional volume of r.
+func (r Rect) Area() float64 {
+	a := 1.0
+	for i := range r.Min {
+		a *= float64(r.Max[i] - r.Min[i])
+	}
+	return a
+}
+
+// Margin returns the sum of edge lengths of r (the R*-split "margin").
+func (r Rect) Margin() float64 {
+	var m float64
+	for i := range r.Min {
+		m += float64(r.Max[i] - r.Min[i])
+	}
+	return m
+}
+
+// Contains reports whether p lies inside r (inclusive on both faces).
+func (r Rect) Contains(p []float32) bool {
+	for i, v := range p {
+		if v < r.Min[i] || v > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsRect reports whether s is fully inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	for i := range r.Min {
+		if s.Min[i] < r.Min[i] || s.Max[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether r and s share any point.
+func (r Rect) Intersects(s Rect) bool {
+	for i := range r.Min {
+		if r.Min[i] > s.Max[i] || r.Max[i] < s.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OverlapArea returns the volume of the intersection of r and s.
+func (r Rect) OverlapArea(s Rect) float64 {
+	a := 1.0
+	for i := range r.Min {
+		lo := r.Min[i]
+		if s.Min[i] > lo {
+			lo = s.Min[i]
+		}
+		hi := r.Max[i]
+		if s.Max[i] < hi {
+			hi = s.Max[i]
+		}
+		if hi <= lo {
+			return 0
+		}
+		a *= float64(hi - lo)
+	}
+	return a
+}
+
+// Enlarged returns a copy of r grown to include s.
+func (r Rect) Enlarged(s Rect) Rect {
+	min := make([]float32, len(r.Min))
+	max := make([]float32, len(r.Max))
+	for i := range r.Min {
+		min[i] = r.Min[i]
+		if s.Min[i] < min[i] {
+			min[i] = s.Min[i]
+		}
+		max[i] = r.Max[i]
+		if s.Max[i] > max[i] {
+			max[i] = s.Max[i]
+		}
+	}
+	return Rect{Min: min, Max: max}
+}
+
+// ExpandInPlace grows r to include s, reusing r's storage.
+func (r *Rect) ExpandInPlace(s Rect) {
+	for i := range r.Min {
+		if s.Min[i] < r.Min[i] {
+			r.Min[i] = s.Min[i]
+		}
+		if s.Max[i] > r.Max[i] {
+			r.Max[i] = s.Max[i]
+		}
+	}
+}
+
+// ExpandPoint grows r to include point p, reusing r's storage.
+func (r *Rect) ExpandPoint(p []float32) {
+	for i, v := range p {
+		if v < r.Min[i] {
+			r.Min[i] = v
+		}
+		if v > r.Max[i] {
+			r.Max[i] = v
+		}
+	}
+}
+
+// EnlargementArea returns how much r's volume grows when enlarged to cover s.
+func (r Rect) EnlargementArea(s Rect) float64 {
+	return r.Enlarged(s).Area() - r.Area()
+}
+
+// Center writes the rectangle's centroid into dst and returns it; pass nil
+// to allocate.
+func (r Rect) Center(dst []float32) []float32 {
+	if dst == nil {
+		dst = make([]float32, len(r.Min))
+	}
+	for i := range r.Min {
+		dst[i] = (r.Min[i] + r.Max[i]) / 2
+	}
+	return dst
+}
+
+// MinDistSq returns the squared Euclidean distance from point p to the
+// nearest face of r; zero when p is inside. Used by best-first k-NN.
+func (r Rect) MinDistSq(p []float32) float64 {
+	var s float64
+	for i, v := range p {
+		var d float64
+		if v < r.Min[i] {
+			d = float64(r.Min[i] - v)
+		} else if v > r.Max[i] {
+			d = float64(v - r.Max[i])
+		}
+		s += d * d
+	}
+	return s
+}
+
+// CenterDistSq returns the squared distance between the centroids of r and s.
+func (r Rect) CenterDistSq(s Rect) float64 {
+	var out float64
+	for i := range r.Min {
+		d := float64(r.Min[i]+r.Max[i])/2 - float64(s.Min[i]+s.Max[i])/2
+		out += d * d
+	}
+	return out
+}
+
+func (r Rect) clone() Rect {
+	min := make([]float32, len(r.Min))
+	max := make([]float32, len(r.Max))
+	copy(min, r.Min)
+	copy(max, r.Max)
+	return Rect{Min: min, Max: max}
+}

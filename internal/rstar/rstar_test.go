@@ -1,0 +1,416 @@
+package rstar
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dblsh/internal/vec"
+)
+
+func randomMatrix(n, d int, seed int64) *vec.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			m.Row(i)[j] = float32(rng.NormFloat64() * 10)
+		}
+	}
+	return m
+}
+
+func bruteWindow(data *vec.Matrix, w Rect) []int {
+	var out []int
+	for i := 0; i < data.Rows(); i++ {
+		if w.Contains(data.Row(i)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sortedEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Ints(a)
+	sort.Ints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect([]float32{0, 0}, []float32{2, 3})
+	if r.Area() != 6 {
+		t.Fatalf("Area = %v", r.Area())
+	}
+	if r.Margin() != 5 {
+		t.Fatalf("Margin = %v", r.Margin())
+	}
+	if !r.Contains([]float32{2, 3}) || !r.Contains([]float32{0, 0}) {
+		t.Fatal("faces must be inclusive")
+	}
+	if r.Contains([]float32{2.001, 1}) {
+		t.Fatal("outside point contained")
+	}
+}
+
+func TestRectOverlap(t *testing.T) {
+	a := NewRect([]float32{0, 0}, []float32{2, 2})
+	b := NewRect([]float32{1, 1}, []float32{3, 3})
+	if got := a.OverlapArea(b); got != 1 {
+		t.Fatalf("OverlapArea = %v, want 1", got)
+	}
+	c := NewRect([]float32{5, 5}, []float32{6, 6})
+	if a.Intersects(c) || a.OverlapArea(c) != 0 {
+		t.Fatal("disjoint rects must not overlap")
+	}
+	// Touching faces intersect with zero volume.
+	d := NewRect([]float32{2, 0}, []float32{3, 2})
+	if !a.Intersects(d) {
+		t.Fatal("touching rects must intersect")
+	}
+	if a.OverlapArea(d) != 0 {
+		t.Fatal("touching rects overlap area must be 0")
+	}
+}
+
+func TestRectEnlarged(t *testing.T) {
+	a := NewRect([]float32{0, 0}, []float32{1, 1})
+	b := NewRect([]float32{2, -1}, []float32{3, 0.5})
+	e := a.Enlarged(b)
+	if e.Min[0] != 0 || e.Min[1] != -1 || e.Max[0] != 3 || e.Max[1] != 1 {
+		t.Fatalf("Enlarged = %+v", e)
+	}
+	// Original unchanged.
+	if a.Max[0] != 1 {
+		t.Fatal("Enlarged mutated receiver")
+	}
+}
+
+func TestRectMinDistSq(t *testing.T) {
+	r := NewRect([]float32{0, 0}, []float32{1, 1})
+	if d := r.MinDistSq([]float32{0.5, 0.5}); d != 0 {
+		t.Fatalf("inside point dist = %v", d)
+	}
+	if d := r.MinDistSq([]float32{2, 1}); d != 1 {
+		t.Fatalf("dist = %v, want 1", d)
+	}
+	if d := r.MinDistSq([]float32{2, 2}); d != 2 {
+		t.Fatalf("corner dist = %v, want 2", d)
+	}
+}
+
+func TestWindowRect(t *testing.T) {
+	w := WindowRect([]float32{1, 2}, 4)
+	if w.Min[0] != -1 || w.Max[0] != 3 || w.Min[1] != 0 || w.Max[1] != 4 {
+		t.Fatalf("WindowRect = %+v", w)
+	}
+}
+
+func TestNewRectPanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRect([]float32{1}, []float32{0})
+}
+
+func TestEmptyTree(t *testing.T) {
+	data := vec.NewMatrix(0, 3)
+	tr := New(data, Options{})
+	if tr.Size() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree size=%d height=%d", tr.Size(), tr.Height())
+	}
+	got := tr.WindowAll(NewRect([]float32{-1, -1, -1}, []float32{1, 1, 1}))
+	if len(got) != 0 {
+		t.Fatalf("window on empty tree returned %v", got)
+	}
+	if ids := tr.NearestK([]float32{0, 0, 0}, 5); len(ids) != 0 {
+		t.Fatalf("NearestK on empty tree returned %v", ids)
+	}
+}
+
+func TestInsertSmall(t *testing.T) {
+	data := randomMatrix(10, 2, 1)
+	tr := New(data, Options{MaxEntries: 4})
+	for i := 0; i < 10; i++ {
+		tr.Insert(i)
+	}
+	if tr.Size() != 10 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+	all := tr.WindowAll(tr.Bounds())
+	want := make([]int, 10)
+	for i := range want {
+		want[i] = i
+	}
+	if !sortedEqual(all, want) {
+		t.Fatalf("full-bounds window returned %v", all)
+	}
+}
+
+func TestInsertManyInvariants(t *testing.T) {
+	for _, n := range []int{50, 500, 3000} {
+		data := randomMatrix(n, 4, int64(n))
+		tr := New(data, Options{MaxEntries: 16})
+		for i := 0; i < n; i++ {
+			tr.Insert(i)
+		}
+		if msg := tr.CheckInvariants(); msg != "" {
+			t.Fatalf("n=%d: invariant violated: %s", n, msg)
+		}
+		if tr.Size() != n {
+			t.Fatalf("n=%d: size=%d", n, tr.Size())
+		}
+	}
+}
+
+func TestBulkLoadInvariants(t *testing.T) {
+	for _, n := range []int{1, 7, 32, 33, 1000, 20000} {
+		data := randomMatrix(n, 6, int64(n)+7)
+		tr := BulkLoad(data, Options{})
+		if tr.Size() != n {
+			t.Fatalf("n=%d: size=%d", n, tr.Size())
+		}
+		if msg := tr.CheckInvariants(); msg != "" {
+			t.Fatalf("n=%d: invariant violated: %s", n, msg)
+		}
+	}
+}
+
+func TestBulkLoadIDsSubset(t *testing.T) {
+	data := randomMatrix(100, 3, 5)
+	ids := []int{3, 14, 15, 92, 65, 35}
+	tr := BulkLoadIDs(data, ids, Options{})
+	if tr.Size() != len(ids) {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	got := tr.WindowAll(tr.Bounds())
+	if !sortedEqual(got, append([]int(nil), ids...)) {
+		t.Fatalf("window = %v, want %v", got, ids)
+	}
+}
+
+func TestWindowMatchesBruteForce(t *testing.T) {
+	data := randomMatrix(5000, 5, 99)
+	tr := BulkLoad(data, Options{})
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 50; trial++ {
+		c := make([]float32, 5)
+		for i := range c {
+			c[i] = float32(rng.NormFloat64() * 10)
+		}
+		w := WindowRect(c, 5+rng.Float64()*20)
+		got := tr.WindowAll(w)
+		want := bruteWindow(data, w)
+		if !sortedEqual(got, want) {
+			t.Fatalf("trial %d: window mismatch: got %d ids, want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestWindowMatchesBruteForceAfterInserts(t *testing.T) {
+	data := randomMatrix(3000, 4, 17)
+	tr := New(data, Options{MaxEntries: 8})
+	for i := 0; i < 3000; i++ {
+		tr.Insert(i)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		c := make([]float32, 4)
+		for i := range c {
+			c[i] = float32(rng.NormFloat64() * 10)
+		}
+		w := WindowRect(c, 8+rng.Float64()*15)
+		if !sortedEqual(tr.WindowAll(w), bruteWindow(data, w)) {
+			t.Fatalf("trial %d: mismatch", trial)
+		}
+	}
+}
+
+func TestWindowEarlyTermination(t *testing.T) {
+	data := randomMatrix(1000, 3, 3)
+	tr := BulkLoad(data, Options{})
+	count := 0
+	tr.Window(tr.Bounds(), func(id int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("visited %d, want early stop at 10", count)
+	}
+}
+
+func TestNearestKMatchesBruteForce(t *testing.T) {
+	data := randomMatrix(2000, 4, 77)
+	tr := BulkLoad(data, Options{})
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 20; trial++ {
+		q := make([]float32, 4)
+		for i := range q {
+			q[i] = float32(rng.NormFloat64() * 10)
+		}
+		k := 1 + rng.Intn(20)
+		got := tr.NearestK(q, k)
+		// Brute force.
+		type pair struct {
+			id int
+			d  float64
+		}
+		all := make([]pair, data.Rows())
+		for i := range all {
+			all[i] = pair{i, vec.SquaredDist(q, data.Row(i))}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+		if len(got) != k {
+			t.Fatalf("NearestK returned %d ids, want %d", len(got), k)
+		}
+		for i := 0; i < k; i++ {
+			// Compare distances (ids may differ under exact ties).
+			if gd := vec.SquaredDist(q, data.Row(got[i])); gd != all[i].d {
+				t.Fatalf("trial %d: rank %d dist %v, want %v", trial, i, gd, all[i].d)
+			}
+		}
+	}
+}
+
+func TestNearestVisitOrdered(t *testing.T) {
+	data := randomMatrix(500, 3, 13)
+	tr := BulkLoad(data, Options{})
+	q := []float32{0, 0, 0}
+	prev := -1.0
+	n := 0
+	tr.NearestVisit(q, func(id int, distSq float64) bool {
+		if distSq < prev {
+			t.Fatalf("NearestVisit out of order: %v after %v", distSq, prev)
+		}
+		prev = distSq
+		n++
+		return true
+	})
+	if n != 500 {
+		t.Fatalf("visited %d, want 500", n)
+	}
+}
+
+func TestMixedBulkThenInsert(t *testing.T) {
+	data := randomMatrix(1000, 4, 42)
+	tr := BulkLoad(data.Slice(0, 800), Options{MaxEntries: 16})
+	// Appending rows 800..999 via Insert on a tree whose matrix view must
+	// cover them: rebuild tree over the full matrix but only bulk rows.
+	ids := make([]int, 800)
+	for i := range ids {
+		ids[i] = i
+	}
+	tr = BulkLoadIDs(data, ids, Options{MaxEntries: 16})
+	for i := 800; i < 1000; i++ {
+		tr.Insert(i)
+	}
+	if tr.Size() != 1000 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+	if !sortedEqual(tr.WindowAll(tr.Bounds()), bruteWindow(data, tr.Bounds())) {
+		t.Fatal("window after mixed build mismatch")
+	}
+}
+
+// Property test: for random point sets and windows, tree results always match
+// brute force.
+func TestWindowProperty(t *testing.T) {
+	f := func(seed int64, widthRaw uint8) bool {
+		n := 200
+		data := randomMatrix(n, 3, seed)
+		tr := BulkLoad(data, Options{MaxEntries: 8})
+		w := WindowRect([]float32{0, 0, 0}, 1+float64(widthRaw)/4)
+		return sortedEqual(tr.WindowAll(w), bruteWindow(data, w))
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	// All points identical: tree must still hold them all and return them.
+	data := vec.NewMatrix(100, 2)
+	for i := 0; i < 100; i++ {
+		data.SetRow(i, []float32{1, 1})
+	}
+	tr := New(data, Options{MaxEntries: 8})
+	for i := 0; i < 100; i++ {
+		tr.Insert(i)
+	}
+	got := tr.WindowAll(WindowRect([]float32{1, 1}, 0.1))
+	if len(got) != 100 {
+		t.Fatalf("duplicate window returned %d ids", len(got))
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	data := randomMatrix(5000, 4, 8)
+	tr := BulkLoad(data, Options{})
+	s := tr.ComputeStats()
+	if s.Entries != 5000 {
+		t.Fatalf("stats entries = %d", s.Entries)
+	}
+	if s.Leaves == 0 || s.Nodes < s.Leaves || s.Height < 2 {
+		t.Fatalf("implausible stats %+v", s)
+	}
+	if s.AvgFill < 0.5 {
+		t.Fatalf("bulk-loaded fill too low: %v", s.AvgFill)
+	}
+}
+
+func TestInsertOutOfRangePanics(t *testing.T) {
+	data := randomMatrix(5, 2, 1)
+	tr := New(data, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Insert(5)
+}
+
+func BenchmarkBulkLoad100k(b *testing.B) {
+	data := randomMatrix(100_000, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BulkLoad(data, Options{})
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	data := randomMatrix(100_000, 10, 1)
+	tr := New(data, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N && i < data.Rows(); i++ {
+		tr.Insert(i)
+	}
+}
+
+func BenchmarkWindow(b *testing.B) {
+	data := randomMatrix(100_000, 10, 1)
+	tr := BulkLoad(data, Options{})
+	w := WindowRect(make([]float32, 10), 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Count(w)
+	}
+}

@@ -1,0 +1,141 @@
+package rstar
+
+import "sort"
+
+// performSplit splits an overflowing node using the R*-tree topological
+// split: choose the split axis by minimum total margin over all candidate
+// distributions, then the distribution on that axis with minimum overlap
+// (ties by minimum combined area). The node keeps the first group; the
+// returned sibling holds the second.
+func (t *Tree) performSplit(n *node) *node {
+	if n.leaf {
+		return t.splitLeaf(n)
+	}
+	return t.splitInternal(n)
+}
+
+// splitCandidate is one way of cutting a sorted entry sequence in two.
+type splitCandidate struct {
+	axis     int
+	useUpper bool // sort by upper face instead of lower (internal nodes)
+	cut      int  // first group is entries[:cut]
+	overlap  float64
+	area     float64
+}
+
+func (t *Tree) splitLeaf(n *node) *node {
+	m := t.opts.MinEntries
+	ids := n.ids
+	total := len(ids)
+
+	bestAxis := -1
+	var bestMargin float64
+	// Choose axis: minimize the sum of margins over all distributions.
+	for axis := 0; axis < t.dim; axis++ {
+		t.sortIDsByAxis(ids, axis)
+		margin := 0.0
+		for cut := m; cut <= total-m; cut++ {
+			r1 := t.rectOfIDs(ids[:cut])
+			r2 := t.rectOfIDs(ids[cut:])
+			margin += r1.Margin() + r2.Margin()
+		}
+		if bestAxis == -1 || margin < bestMargin {
+			bestAxis, bestMargin = axis, margin
+		}
+	}
+
+	// Choose index on the best axis: minimize overlap, ties by area.
+	t.sortIDsByAxis(ids, bestAxis)
+	bestCut := -1
+	var bestOverlap, bestArea float64
+	for cut := m; cut <= total-m; cut++ {
+		r1 := t.rectOfIDs(ids[:cut])
+		r2 := t.rectOfIDs(ids[cut:])
+		ov := r1.OverlapArea(r2)
+		area := r1.Area() + r2.Area()
+		if bestCut == -1 || ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+			bestCut, bestOverlap, bestArea = cut, ov, area
+		}
+	}
+
+	siblingIDs := append([]int32(nil), ids[bestCut:]...)
+	n.ids = ids[:bestCut]
+	t.recomputeLeafRect(n)
+	sibling := &node{leaf: true, level: 0, ids: siblingIDs}
+	t.recomputeLeafRect(sibling)
+	return sibling
+}
+
+func (t *Tree) splitInternal(n *node) *node {
+	m := t.opts.MinEntries
+	children := n.children
+	total := len(children)
+
+	bestAxis, bestUpper := -1, false
+	var bestMargin float64
+	for axis := 0; axis < t.dim; axis++ {
+		for _, upper := range []bool{false, true} {
+			sortNodesByAxis(children, axis, upper)
+			margin := 0.0
+			for cut := m; cut <= total-m; cut++ {
+				r1 := rectOfNodes(children[:cut])
+				r2 := rectOfNodes(children[cut:])
+				margin += r1.Margin() + r2.Margin()
+			}
+			if bestAxis == -1 || margin < bestMargin {
+				bestAxis, bestUpper, bestMargin = axis, upper, margin
+			}
+		}
+	}
+
+	sortNodesByAxis(children, bestAxis, bestUpper)
+	bestCut := -1
+	var bestOverlap, bestArea float64
+	for cut := m; cut <= total-m; cut++ {
+		r1 := rectOfNodes(children[:cut])
+		r2 := rectOfNodes(children[cut:])
+		ov := r1.OverlapArea(r2)
+		area := r1.Area() + r2.Area()
+		if bestCut == -1 || ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+			bestCut, bestOverlap, bestArea = cut, ov, area
+		}
+	}
+
+	siblingChildren := append([]*node(nil), children[bestCut:]...)
+	n.children = children[:bestCut]
+	recomputeRect(n)
+	sibling := &node{leaf: false, level: n.level, children: siblingChildren}
+	recomputeRect(sibling)
+	return sibling
+}
+
+func (t *Tree) sortIDsByAxis(ids []int32, axis int) {
+	sort.Slice(ids, func(a, b int) bool {
+		return t.point(ids[a])[axis] < t.point(ids[b])[axis]
+	})
+}
+
+func sortNodesByAxis(ns []*node, axis int, upper bool) {
+	sort.Slice(ns, func(a, b int) bool {
+		if upper {
+			return ns[a].rect.Max[axis] < ns[b].rect.Max[axis]
+		}
+		return ns[a].rect.Min[axis] < ns[b].rect.Min[axis]
+	})
+}
+
+func (t *Tree) rectOfIDs(ids []int32) Rect {
+	r := PointRect(t.point(ids[0]))
+	for _, id := range ids[1:] {
+		r.ExpandPoint(t.point(id))
+	}
+	return r
+}
+
+func rectOfNodes(ns []*node) Rect {
+	r := ns[0].rect.clone()
+	for _, c := range ns[1:] {
+		r.ExpandInPlace(c.rect)
+	}
+	return r
+}

@@ -1,0 +1,371 @@
+package rstar
+
+import (
+	"fmt"
+	"sort"
+
+	"dblsh/internal/vec"
+)
+
+// Default node capacities. 32 entries per node is a good fit for in-memory
+// trees over 10–12 dimensional points.
+const (
+	DefaultMaxEntries = 32
+	reinsertFraction  = 0.3 // R* "p": share of entries force-reinserted on first overflow
+)
+
+// Options configures a Tree.
+type Options struct {
+	// MaxEntries is the node capacity M (≥ 4). Defaults to DefaultMaxEntries.
+	MaxEntries int
+	// MinEntries is the minimum fill m (2 ≤ m ≤ M/2). Defaults to 40% of M,
+	// the value recommended in the R*-tree paper.
+	MinEntries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxEntries == 0 {
+		o.MaxEntries = DefaultMaxEntries
+	}
+	if o.MaxEntries < 4 {
+		o.MaxEntries = 4
+	}
+	if o.MinEntries == 0 {
+		o.MinEntries = o.MaxEntries * 2 / 5
+	}
+	if o.MinEntries < 2 {
+		o.MinEntries = 2
+	}
+	if o.MinEntries > o.MaxEntries/2 {
+		o.MinEntries = o.MaxEntries / 2
+	}
+	return o
+}
+
+type node struct {
+	rect     Rect
+	children []*node // internal nodes only
+	ids      []int32 // leaf entries: row indices into the tree's data matrix
+	leaf     bool
+	level    int // 0 = leaf
+}
+
+func (n *node) entryCount() int {
+	if n.leaf {
+		return len(n.ids)
+	}
+	return len(n.children)
+}
+
+// Tree is an R*-tree over the rows of a point matrix. The matrix is owned by
+// the caller and must not shrink while the tree is alive; rows appended after
+// construction can be indexed with Insert.
+//
+// Tree is not safe for concurrent mutation; concurrent read-only queries are
+// safe.
+type Tree struct {
+	data *vec.Matrix
+	opts Options
+	root *node
+	size int
+	dim  int
+
+	// reinsertedAtLevel tracks which levels already did a forced reinsert
+	// during the current insertion (R* performs at most one per level).
+	reinsertedAtLevel map[int]bool
+}
+
+// New creates an empty R*-tree over data's rows. No rows are indexed yet;
+// call Insert per row, or use BulkLoad to build a populated tree directly.
+func New(data *vec.Matrix, opts Options) *Tree {
+	if data.Dim() < 1 {
+		panic("rstar: data must have at least one dimension")
+	}
+	return &Tree{
+		data: data,
+		opts: opts.withDefaults(),
+		dim:  data.Dim(),
+		root: &node{leaf: true, rect: emptyRect(data.Dim())},
+	}
+}
+
+func emptyRect(dim int) Rect {
+	return Rect{Min: make([]float32, dim), Max: make([]float32, dim)}
+}
+
+// Size returns the number of indexed points.
+func (t *Tree) Size() int { return t.size }
+
+// Dim returns the dimensionality of indexed points.
+func (t *Tree) Dim() int { return t.dim }
+
+// Height returns the number of levels (1 for a tree that is just a leaf).
+func (t *Tree) Height() int { return t.root.level + 1 }
+
+// Bounds returns the minimum bounding rectangle of all indexed points.
+// For an empty tree the zero rectangle at the origin is returned.
+func (t *Tree) Bounds() Rect { return t.root.rect.clone() }
+
+// point returns the coordinates of entry id.
+func (t *Tree) point(id int32) []float32 { return t.data.Row(int(id)) }
+
+// Insert indexes row id of the data matrix using R* insertion with forced
+// reinsertion.
+func (t *Tree) Insert(id int) {
+	if id < 0 || id >= t.data.Rows() {
+		panic(fmt.Sprintf("rstar: insert id %d out of range [0,%d)", id, t.data.Rows()))
+	}
+	t.reinsertedAtLevel = map[int]bool{}
+	t.insertPoint(int32(id))
+	t.size++
+}
+
+func (t *Tree) insertPoint(id int32) {
+	r := PointRect(t.point(id))
+	path := t.descend(r, 0)
+	leafN := path[len(path)-1]
+	wasEmpty := len(leafN.ids) == 0
+	leafN.ids = append(leafN.ids, id)
+	t.expandPath(path, r, wasEmpty)
+	t.handleOverflow(path)
+}
+
+func (t *Tree) insertSubtree(sub *node) {
+	path := t.descend(sub.rect, sub.level+1)
+	n := path[len(path)-1]
+	wasEmpty := len(n.children) == 0
+	n.children = append(n.children, sub)
+	t.expandPath(path, sub.rect, wasEmpty)
+	t.handleOverflow(path)
+}
+
+// descend walks from the root to a node at targetLevel, choosing children by
+// the R* ChooseSubtree criteria, and returns the root-to-target path.
+func (t *Tree) descend(r Rect, targetLevel int) []*node {
+	n := t.root
+	path := make([]*node, 1, n.level+1)
+	path[0] = n
+	for n.level > targetLevel {
+		n = t.bestChild(n, r)
+		path = append(path, n)
+	}
+	return path
+}
+
+// expandPath grows the rectangles along an insertion path to include r. When
+// the target node was empty before the insert, its rectangle is reset to r
+// rather than expanded (the zero rect of an empty node must not leak in).
+func (t *Tree) expandPath(path []*node, r Rect, targetWasEmpty bool) {
+	last := len(path) - 1
+	if targetWasEmpty {
+		path[last].rect = r.clone()
+	} else {
+		path[last].rect.ExpandInPlace(r)
+	}
+	for i := last - 1; i >= 0; i-- {
+		path[i].rect.ExpandInPlace(r)
+	}
+}
+
+// handleOverflow applies R* overflow treatment bottom-up along the insertion
+// path: forced reinsertion once per level, splits afterwards.
+func (t *Tree) handleOverflow(path []*node) {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		if n.entryCount() <= t.opts.MaxEntries {
+			return
+		}
+		if n != t.root && !t.reinsertedAtLevel[n.level] {
+			t.reinsertedAtLevel[n.level] = true
+			t.forceReinsert(n, path[:i+1])
+			return
+		}
+		sibling := t.performSplit(n)
+		if n == t.root {
+			newRoot := &node{
+				level:    n.level + 1,
+				children: []*node{n, sibling},
+			}
+			recomputeRect(newRoot)
+			t.root = newRoot
+			return
+		}
+		parent := path[i-1]
+		parent.children = append(parent.children, sibling)
+		recomputeRect(parent)
+	}
+}
+
+// forceReinsert evicts the entries of n farthest from its centre, tightens
+// the rectangles along the path, and re-inserts the evicted entries from the
+// top (R* forced reinsertion).
+func (t *Tree) forceReinsert(n *node, path []*node) {
+	p := int(float64(t.opts.MaxEntries+1)*reinsertFraction + 0.5)
+	if p < 1 {
+		p = 1
+	}
+	center := n.rect.Center(nil)
+	centerRect := Rect{Min: center, Max: center}
+
+	if n.leaf {
+		ids := n.ids
+		sort.Slice(ids, func(a, b int) bool {
+			return pointDistSq(center, t.point(ids[a])) > pointDistSq(center, t.point(ids[b]))
+		})
+		evicted := append([]int32(nil), ids[:p]...)
+		n.ids = ids[p:]
+		t.recomputeLeafRect(n)
+		tightenPath(path)
+		// Close reinsert: nearest evictions first.
+		for i := len(evicted) - 1; i >= 0; i-- {
+			t.insertPoint(evicted[i])
+		}
+		return
+	}
+
+	children := n.children
+	sort.Slice(children, func(a, b int) bool {
+		return children[a].rect.CenterDistSq(centerRect) > children[b].rect.CenterDistSq(centerRect)
+	})
+	evicted := append([]*node(nil), children[:p]...)
+	n.children = children[p:]
+	recomputeRect(n)
+	tightenPath(path)
+	for i := len(evicted) - 1; i >= 0; i-- {
+		t.insertSubtree(evicted[i])
+	}
+}
+
+// tightenPath recomputes the rectangles of the interior nodes on a
+// root-to-target path after entries were removed from the target.
+func tightenPath(path []*node) {
+	for i := len(path) - 2; i >= 0; i-- {
+		recomputeRect(path[i])
+	}
+}
+
+func recomputeRect(n *node) {
+	if n.leaf || len(n.children) == 0 {
+		return
+	}
+	n.rect = n.children[0].rect.clone()
+	for _, c := range n.children[1:] {
+		n.rect.ExpandInPlace(c.rect)
+	}
+}
+
+func (t *Tree) recomputeLeafRect(n *node) {
+	if len(n.ids) == 0 {
+		n.rect = emptyRect(t.dim)
+		return
+	}
+	n.rect = PointRect(t.point(n.ids[0]))
+	for _, id := range n.ids[1:] {
+		n.rect.ExpandPoint(t.point(id))
+	}
+}
+
+// bestChild picks the child of n to descend into when inserting rect r.
+// For nodes whose children are leaves, R* minimizes overlap enlargement;
+// higher up it minimizes area enlargement. Ties break by smaller area.
+func (t *Tree) bestChild(n *node, r Rect) *node {
+	children := n.children
+	if len(children) == 0 {
+		panic("rstar: bestChild on node without children")
+	}
+	if children[0].leaf {
+		best := children[0]
+		bestOverlap := overlapEnlargement(children, 0, r)
+		bestEnl := children[0].rect.EnlargementArea(r)
+		bestArea := children[0].rect.Area()
+		for i := 1; i < len(children); i++ {
+			c := children[i]
+			ov := overlapEnlargement(children, i, r)
+			if ov > bestOverlap {
+				continue
+			}
+			enl := c.rect.EnlargementArea(r)
+			area := c.rect.Area()
+			if ov < bestOverlap ||
+				(enl < bestEnl) ||
+				(enl == bestEnl && area < bestArea) {
+				best, bestOverlap, bestEnl, bestArea = c, ov, enl, area
+			}
+		}
+		return best
+	}
+	best := children[0]
+	bestEnl := children[0].rect.EnlargementArea(r)
+	bestArea := children[0].rect.Area()
+	for i := 1; i < len(children); i++ {
+		c := children[i]
+		enl := c.rect.EnlargementArea(r)
+		area := c.rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = c, enl, area
+		}
+	}
+	return best
+}
+
+// overlapEnlargement computes how much the overlap between children[i] and
+// its siblings grows if children[i] is enlarged to cover r.
+func overlapEnlargement(children []*node, i int, r Rect) float64 {
+	enlarged := children[i].rect.Enlarged(r)
+	var delta float64
+	for j, c := range children {
+		if j == i {
+			continue
+		}
+		delta += enlarged.OverlapArea(c.rect) - children[i].rect.OverlapArea(c.rect)
+	}
+	return delta
+}
+
+func pointDistSq(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Stats describes the shape of a tree, used by tests and the benchmark
+// harness to report index size.
+type Stats struct {
+	Height      int
+	Nodes       int
+	Leaves      int
+	Entries     int
+	AvgFill     float64 // mean entries per node / MaxEntries
+	BytesApprox int64   // rough in-memory footprint of the tree structure
+}
+
+// ComputeStats walks the tree and returns shape statistics.
+func (t *Tree) ComputeStats() Stats {
+	var s Stats
+	s.Height = t.Height()
+	var totalFill float64
+	var walk func(n *node)
+	walk = func(n *node) {
+		s.Nodes++
+		totalFill += float64(n.entryCount()) / float64(t.opts.MaxEntries)
+		s.BytesApprox += int64(len(n.rect.Min)+len(n.rect.Max))*4 + 64
+		if n.leaf {
+			s.Leaves++
+			s.Entries += len(n.ids)
+			s.BytesApprox += int64(len(n.ids)) * 4
+			return
+		}
+		s.BytesApprox += int64(len(n.children)) * 8
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	if s.Nodes > 0 {
+		s.AvgFill = totalFill / float64(s.Nodes)
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+// Package vec provides dense float32 vector primitives used throughout the
+// DB-LSH codebase: distance computation, dot products, and a flat row-major
+// matrix representation that keeps point data contiguous in memory.
+//
+// All hot loops are written so the compiler can keep operands in registers;
+// distances are accumulated in float64 to avoid catastrophic cancellation on
+// high-dimensional data.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. The slices must have equal length.
+func Dot(a, b []float32) float64 {
+	_ = b[len(a)-1] // bounds-check hint
+	var s float64
+	for i, x := range a {
+		s += float64(x) * float64(b[i])
+	}
+	return s
+}
+
+// SquaredDist returns the squared Euclidean distance between a and b.
+func SquaredDist(a, b []float32) float64 {
+	_ = b[len(a)-1]
+	var s float64
+	for i, x := range a {
+		d := float64(x) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float32) float64 {
+	return math.Sqrt(SquaredDist(a, b))
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float32) float64 {
+	var s float64
+	for _, x := range a {
+		s += float64(x) * float64(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Scale multiplies every component of a by f in place.
+func Scale(a []float32, f float32) {
+	for i := range a {
+		a[i] *= f
+	}
+}
+
+// Add adds b into a component-wise in place.
+func Add(a, b []float32) {
+	_ = b[len(a)-1]
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// Matrix is an n×d row-major matrix of float32. Rows are points. The backing
+// array is one contiguous allocation, which matters for cache behaviour when
+// scanning millions of candidates.
+type Matrix struct {
+	data []float32
+	n, d int
+}
+
+// NewMatrix allocates an n×d zero matrix.
+func NewMatrix(n, d int) *Matrix {
+	if n < 0 || d <= 0 {
+		panic(fmt.Sprintf("vec: invalid matrix shape %d×%d", n, d))
+	}
+	return &Matrix{data: make([]float32, n*d), n: n, d: d}
+}
+
+// WrapMatrix wraps an existing flat slice as an n×d matrix without copying.
+// len(data) must equal n*d.
+func WrapMatrix(data []float32, n, d int) *Matrix {
+	if len(data) != n*d {
+		panic(fmt.Sprintf("vec: wrap size mismatch: len=%d want %d×%d", len(data), n, d))
+	}
+	return &Matrix{data: data, n: n, d: d}
+}
+
+// Rows returns the number of rows (points).
+func (m *Matrix) Rows() int { return m.n }
+
+// Dim returns the dimensionality of each row.
+func (m *Matrix) Dim() int { return m.d }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float32 {
+	return m.data[i*m.d : (i+1)*m.d : (i+1)*m.d]
+}
+
+// SetRow copies p into row i. len(p) must equal Dim().
+func (m *Matrix) SetRow(i int, p []float32) {
+	if len(p) != m.d {
+		panic(fmt.Sprintf("vec: SetRow dim mismatch: %d want %d", len(p), m.d))
+	}
+	copy(m.Row(i), p)
+}
+
+// Data returns the backing slice (row-major).
+func (m *Matrix) Data() []float32 { return m.data }
+
+// Append adds a row to the matrix, growing storage as needed, and returns the
+// new row index.
+func (m *Matrix) Append(p []float32) int {
+	if len(p) != m.d {
+		panic(fmt.Sprintf("vec: Append dim mismatch: %d want %d", len(p), m.d))
+	}
+	m.data = append(m.data, p...)
+	m.n++
+	return m.n - 1
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{data: make([]float32, len(m.data)), n: m.n, d: m.d}
+	copy(out.data, m.data)
+	return out
+}
+
+// Slice returns a view of rows [lo,hi) sharing storage with m.
+func (m *Matrix) Slice(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.n {
+		panic(fmt.Sprintf("vec: slice [%d,%d) out of range n=%d", lo, hi, m.n))
+	}
+	return &Matrix{data: m.data[lo*m.d : hi*m.d], n: hi - lo, d: m.d}
+}

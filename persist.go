@@ -1,0 +1,161 @@
+package dblsh
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"dblsh/internal/core"
+	"dblsh/internal/vec"
+)
+
+// Index persistence.
+//
+// A DB-LSH index is fully determined by (data, parameters, seed): the hash
+// family is sampled from the seed and the R*-trees are bulk-loaded
+// deterministically. The on-disk format therefore stores the vectors and the
+// configuration and rebuilds the structures on load — the file stays compact
+// (4 bytes per coordinate plus a fixed header) and loading costs one STR
+// bulk load, which is the fastest construction path anyway (Table IV's
+// indexing-time column).
+//
+// Layout (little-endian), followed by a CRC-32 (IEEE) of everything before
+// it:
+//
+//	magic   [8]byte  "DBLSHv1\n"
+//	n       uint64
+//	dim     uint32
+//	K, L, T uint32
+//	C, W0   float64
+//	r0      float64
+//	seed    int64
+//	data    n·dim × float32
+//	crc     uint32
+
+var magic = [8]byte{'D', 'B', 'L', 'S', 'H', 'v', '1', '\n'}
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := &crcWriter{w: bw}
+
+	cfg := idx.inner.Params()
+	data := idx.inner.Data()
+	if _, err := cw.Write(magic[:]); err != nil {
+		return 0, fmt.Errorf("dblsh: write header: %w", err)
+	}
+	hdr := []interface{}{
+		uint64(data.Rows()),
+		uint32(data.Dim()),
+		uint32(cfg.K), uint32(cfg.L), uint32(cfg.T),
+		cfg.C, cfg.W0,
+		idx.inner.InitialRadius(),
+		cfg.Seed,
+	}
+	for _, v := range hdr {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return 0, fmt.Errorf("dblsh: write header: %w", err)
+		}
+	}
+	// Vectors row by row through a reused buffer: no n·dim temporary.
+	buf := make([]byte, data.Dim()*4)
+	for i := 0; i < data.Rows(); i++ {
+		row := data.Row(i)
+		for j, f := range row {
+			binary.LittleEndian.PutUint32(buf[j*4:], math.Float32bits(f))
+		}
+		if _, err := cw.Write(buf); err != nil {
+			return 0, fmt.Errorf("dblsh: write vectors: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return 0, fmt.Errorf("dblsh: write checksum: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, fmt.Errorf("dblsh: flush: %w", err)
+	}
+	total := int64(8) + 8 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 8 +
+		int64(data.Rows())*int64(data.Dim())*4 + 4
+	return total, nil
+}
+
+// Read deserializes an index previously written with WriteTo, rebuilding the
+// projections and trees deterministically from the stored seed.
+func Read(r io.Reader) (*Index, error) {
+	cr := &crcReader{r: bufio.NewReaderSize(r, 1<<20)}
+
+	var gotMagic [8]byte
+	if _, err := io.ReadFull(cr, gotMagic[:]); err != nil {
+		return nil, fmt.Errorf("dblsh: read header: %w", err)
+	}
+	if gotMagic != magic {
+		return nil, fmt.Errorf("dblsh: bad magic %q (not a DB-LSH index file?)", gotMagic)
+	}
+	var (
+		n       uint64
+		dim     uint32
+		k, l, t uint32
+		c, w0   float64
+		r0      float64
+		seed    int64
+	)
+	for _, v := range []interface{}{&n, &dim, &k, &l, &t, &c, &w0, &r0, &seed} {
+		if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("dblsh: read header: %w", err)
+		}
+	}
+	const maxVectors = 1 << 40
+	if n == 0 || dim == 0 || n > maxVectors || uint64(dim) > 1<<20 {
+		return nil, fmt.Errorf("dblsh: implausible shape %d×%d", n, dim)
+	}
+	flat := make([]float32, n*uint64(dim))
+	buf := make([]byte, int(dim)*4)
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return nil, fmt.Errorf("dblsh: read vectors: %w", err)
+		}
+		base := i * uint64(dim)
+		for j := uint32(0); j < dim; j++ {
+			flat[base+uint64(j)] = math.Float32frombits(binary.LittleEndian.Uint32(buf[j*4:]))
+		}
+	}
+	wantCRC := cr.crc
+	var gotCRC uint32
+	if err := binary.Read(cr.r, binary.LittleEndian, &gotCRC); err != nil {
+		return nil, fmt.Errorf("dblsh: read checksum: %w", err)
+	}
+	if gotCRC != wantCRC {
+		return nil, fmt.Errorf("dblsh: checksum mismatch (file corrupted): got %08x want %08x", gotCRC, wantCRC)
+	}
+
+	m := vec.WrapMatrix(flat, int(n), int(dim))
+	inner := core.Build(m, core.Config{
+		C: c, W0: w0, K: int(k), L: int(l), T: int(t),
+		Seed: seed, InitialRadius: r0,
+	})
+	return &Index{inner: inner, dim: int(dim)}, nil
+}

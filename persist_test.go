@@ -1,0 +1,220 @@
+package dblsh
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func buildSmall(t *testing.T) (*Index, [][]float32, [][]float32) {
+	t.Helper()
+	data, queries := clusteredData(2000, 24, 31)
+	idx, err := New(data, Options{K: 8, L: 4, T: 40, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, data, queries
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	idx, _, queries := buildSmall(t)
+	var buf bytes.Buffer
+	n, err := idx.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != n {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != idx.Len() || loaded.Dim() != idx.Dim() {
+		t.Fatalf("shape changed: %d×%d vs %d×%d", loaded.Len(), loaded.Dim(), idx.Len(), idx.Dim())
+	}
+	if loaded.Params() != idx.Params() {
+		t.Fatalf("params changed: %+v vs %+v", loaded.Params(), idx.Params())
+	}
+	// Determinism: the reloaded index must answer identically.
+	for _, q := range queries {
+		a := idx.Search(q, 10)
+		b := loaded.Search(q, 10)
+		if len(a) != len(b) {
+			t.Fatalf("result sizes differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("results diverge at rank %d: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestPersistRejectsCorruption(t *testing.T) {
+	idx, _, _ := buildSmall(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip one byte in the vector payload.
+	corrupted := append([]byte(nil), raw...)
+	corrupted[len(corrupted)/2] ^= 0xff
+	if _, err := Read(bytes.NewReader(corrupted)); err == nil {
+		t.Fatal("corrupted payload must fail the checksum")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// Wrong magic.
+	wrongMagic := append([]byte(nil), raw...)
+	wrongMagic[0] = 'X'
+	if _, err := Read(bytes.NewReader(wrongMagic)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic must be rejected, got %v", err)
+	}
+
+	// Truncated file.
+	if _, err := Read(bytes.NewReader(raw[:len(raw)/3])); err == nil {
+		t.Fatal("truncated file must fail")
+	}
+}
+
+func TestPersistEmptyReaderFails(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty reader must fail")
+	}
+}
+
+func TestAddThenSearch(t *testing.T) {
+	idx, data, _ := buildSmall(t)
+	before := idx.Len()
+
+	// Add a point far from everything, then query next to it.
+	novel := make([]float32, idx.Dim())
+	for j := range novel {
+		novel[j] = 500
+	}
+	id, err := idx.Add(novel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != before {
+		t.Fatalf("Add returned id %d, want %d", id, before)
+	}
+	if idx.Len() != before+1 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	hits := idx.Search(novel, 1)
+	if len(hits) != 1 || hits[0].ID != id || hits[0].Dist != 0 {
+		t.Fatalf("search for added point returned %+v", hits)
+	}
+
+	// Old points still found.
+	hits = idx.Search(data[0], 1)
+	if len(hits) != 1 || hits[0].Dist != 0 {
+		t.Fatalf("pre-existing point lost after Add: %+v", hits)
+	}
+
+	// Dim mismatch errors.
+	if _, err := idx.Add(novel[:3]); err == nil {
+		t.Fatal("Add with wrong dim must error")
+	}
+}
+
+func TestAddManyKeepsTreeInvariants(t *testing.T) {
+	data, _ := clusteredData(500, 16, 33)
+	idx, err := New(data, Options{K: 6, L: 3, T: 20, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-existing searcher must survive index growth.
+	s := idx.NewSearcher()
+	for i := 0; i < 500; i++ {
+		v := make([]float32, 16)
+		for j := range v {
+			v[j] = data[i%500][j] + 0.01
+		}
+		if _, err := idx.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if idx.Len() != 1000 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	res := s.Search(data[0], 5)
+	if len(res) != 5 {
+		t.Fatalf("stale searcher returned %d results", len(res))
+	}
+	if res[0].Dist != 0 {
+		t.Fatalf("nearest to data[0] should be itself, got %+v", res[0])
+	}
+}
+
+// failingWriter errors after n bytes, for write-path failure injection.
+type failingWriter struct {
+	n int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errWriteFailed
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errWriteFailed
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+var errWriteFailed = errors.New("injected write failure")
+
+func TestWriteToSurfacesWriterErrors(t *testing.T) {
+	idx, _, _ := buildSmall(t)
+	for _, budget := range []int{0, 4, 100, 5000} {
+		if _, err := idx.WriteTo(&failingWriter{n: budget}); err == nil {
+			t.Fatalf("budget %d: expected an error from a failing writer", budget)
+		}
+	}
+}
+
+// slowReader returns one byte at a time, exercising partial-read handling in
+// the load path.
+type slowReader struct {
+	data []byte
+	pos  int
+}
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	if s.pos >= len(s.data) {
+		return 0, io.EOF
+	}
+	p[0] = s.data[s.pos]
+	s.pos++
+	return 1, nil
+}
+
+func TestReadHandlesPartialReads(t *testing.T) {
+	idx, _, queries := buildSmall(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&slowReader{data: buf.Bytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := idx.Search(queries[0], 5)
+	b := loaded.Search(queries[0], 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("byte-at-a-time load diverges")
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"testing"
 
+	"dblsh"
 	"dblsh/internal/baseline/e2lsh"
 	"dblsh/internal/baseline/fblsh"
 	"dblsh/internal/baseline/lsb"
@@ -329,6 +330,54 @@ func BenchmarkAblationL(b *testing.B) {
 				s.KANN(ds.Queries.Row(i%ds.Queries.Rows()), 50)
 			}
 		})
+	}
+}
+
+// --- Per-query options API (public surface) ------------------------------------
+
+// benchIndex builds a public dblsh.Index over the shared bench corpus.
+func benchIndex(b *testing.B) *dblsh.Index {
+	b.Helper()
+	p := benchParams()
+	ds := benchDS()
+	idx, err := dblsh.NewFromFlat(ds.Data.Data(), ds.Data.Rows(), ds.Data.Dim(),
+		dblsh.Options{C: p.C, W0: p.W0, K: p.K, L: p.L, T: p.T, Seed: p.Seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx
+}
+
+// Filter pushdown: a tenant predicate admitting half the corpus, evaluated
+// inside the verification loop before any exact distance computation.
+func BenchmarkSearchFiltered(b *testing.B) {
+	idx := benchIndex(b)
+	ds := benchDS()
+	s := idx.NewSearcher()
+	tenant := dblsh.WithFilter(func(id int) bool { return id%2 == 0 })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SearchOpts(ds.Queries.Row(i%ds.Queries.Rows()), 50, tenant); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Batch fan-out through the options path, with per-query stats collected —
+// the shape of a POST /search_batch request.
+func BenchmarkSearchBatchOpts(b *testing.B) {
+	idx := benchIndex(b)
+	ds := benchDS()
+	queries := make([][]float32, ds.Queries.Rows())
+	for i := range queries {
+		queries[i] = ds.Queries.Row(i)
+	}
+	var per []dblsh.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.SearchBatchOpts(queries, 50, dblsh.WithBatchStats(&per)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

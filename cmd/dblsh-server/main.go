@@ -13,8 +13,17 @@
 //	GET  /healthz
 //	GET  /stats
 //	POST /search          {"vector": [...], "k": 10}
+//	POST /search_batch    {"vectors": [[...], ...], "k": 10}
 //	POST /search_radius   {"vector": [...], "radius": 1.5}
 //	POST /vectors         {"vector": [...]}
+//
+// Search endpoints accept optional per-request knobs — "t" (candidate
+// budget), "early_stop" (termination factor ≥ 1), "max_radius" (radius
+// ladder cap) and "filter_ids" (allowlist of returnable ids) — and echo the
+// query's work statistics ("candidates", "rounds", "final_radius") in the
+// response, so one running server can serve low-latency and high-recall
+// traffic side by side. /search_radius runs a single fixed-radius round, so
+// it takes only "t" and "filter_ids" and rejects the ladder-shaping knobs.
 package main
 
 import (

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -29,14 +31,21 @@ func newServer(idx *dblsh.Index) *server {
 //
 //	GET  /healthz         liveness probe
 //	GET  /stats           index shape and parameters
-//	POST /search          {"vector": [...], "k": 10}
-//	POST /search_radius   {"vector": [...], "radius": 1.5}
+//	POST /search          {"vector": [...], "k": 10, "t": 25, "early_stop": 1.5, "max_radius": 8.0, "filter_ids": [...]}
+//	POST /search_batch    {"vectors": [[...], ...], "k": 10, ...same per-request knobs}
+//	POST /search_radius   {"vector": [...], "radius": 1.5, "t": 25, "filter_ids": [...]}
 //	POST /vectors         {"vector": [...]} — appends, returns its id
+//
+// The per-request knobs t, early_stop, max_radius and filter_ids are all
+// optional and default to the index's build-time configuration; filter_ids,
+// when present, is an allowlist — only those ids may be returned. Search
+// responses echo the work statistics of the query.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/search_batch", s.handleSearchBatch)
 	mux.HandleFunc("/search_radius", s.handleSearchRadius)
 	mux.HandleFunc("/vectors", s.handleAdd)
 	return mux
@@ -53,6 +62,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 type statsResponse struct {
 	Vectors        int     `json:"vectors"`
+	Deleted        int     `json:"deleted"`
 	Dim            int     `json:"dim"`
 	K              int     `json:"k"`
 	L              int     `json:"l"`
@@ -71,6 +81,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	p := s.idx.Params()
 	resp := statsResponse{
 		Vectors:        s.idx.Len(),
+		Deleted:        s.idx.Deleted(),
 		Dim:            s.idx.Dim(),
 		K:              p.K,
 		L:              p.L,
@@ -83,10 +94,51 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// queryOptions are the per-request knobs shared by every search endpoint,
+// mirroring the library's SearchOption set.
+type queryOptions struct {
+	T         int     `json:"t"`
+	EarlyStop float64 `json:"early_stop"`
+	MaxRadius float64 `json:"max_radius"`
+	FilterIDs []int   `json:"filter_ids"`
+}
+
+// searchOptions converts the request knobs into library options. The
+// request context rides along so client disconnects and deadlines cancel
+// the radius ladder. Zero values mean "unset"; out-of-range values are
+// passed through so the library's own validation produces the error, which
+// searchError maps to a 400 — one set of rules, no drift. The exception is
+// a negative t, which zero-means-unset gating would otherwise silently
+// swallow.
+func (o queryOptions) searchOptions(ctx context.Context) ([]dblsh.SearchOption, error) {
+	opts := []dblsh.SearchOption{dblsh.WithContext(ctx)}
+	if o.T < 0 {
+		return nil, errors.New("t must be non-negative")
+	}
+	if o.T > 0 {
+		opts = append(opts, dblsh.WithCandidateBudget(o.T))
+	}
+	if o.EarlyStop != 0 {
+		opts = append(opts, dblsh.WithEarlyStop(o.EarlyStop))
+	}
+	if o.MaxRadius != 0 {
+		opts = append(opts, dblsh.WithMaxRadius(o.MaxRadius))
+	}
+	if len(o.FilterIDs) > 0 {
+		allow := make(map[int]bool, len(o.FilterIDs))
+		for _, id := range o.FilterIDs {
+			allow[id] = true
+		}
+		opts = append(opts, dblsh.WithFilter(func(id int) bool { return allow[id] }))
+	}
+	return opts, nil
+}
+
 type searchRequest struct {
 	Vector []float32 `json:"vector"`
 	K      int       `json:"k"`
 	Radius float64   `json:"radius"`
+	queryOptions
 }
 
 type searchHit struct {
@@ -94,8 +146,27 @@ type searchHit struct {
 	Dist float64 `json:"dist"`
 }
 
+type queryStats struct {
+	Candidates  int     `json:"candidates"`
+	Rounds      int     `json:"rounds"`
+	FinalRadius float64 `json:"final_radius"`
+}
+
 type searchResponse struct {
 	Results []searchHit `json:"results"`
+	Stats   *queryStats `json:"stats,omitempty"`
+}
+
+func toHits(results []dblsh.Result) []searchHit {
+	hits := make([]searchHit, len(results))
+	for i, h := range results {
+		hits[i] = searchHit{ID: h.ID, Dist: h.Dist}
+	}
+	return hits
+}
+
+func toStats(st dblsh.Stats) *queryStats {
+	return &queryStats{Candidates: st.Candidates, Rounds: st.Rounds, FinalRadius: st.FinalRadius}
 }
 
 func (s *server) decodeVector(w http.ResponseWriter, r *http.Request) (searchRequest, bool) {
@@ -108,12 +179,25 @@ func (s *server) decodeVector(w http.ResponseWriter, r *http.Request) (searchReq
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return req, false
 	}
-	if len(req.Vector) != s.idx.Dim() {
+	s.mu.RLock()
+	dim := s.idx.Dim()
+	s.mu.RUnlock()
+	if len(req.Vector) != dim {
 		httpError(w, http.StatusBadRequest,
-			fmt.Sprintf("vector has dim %d, index expects %d", len(req.Vector), s.idx.Dim()))
+			fmt.Sprintf("vector has dim %d, index expects %d", len(req.Vector), dim))
 		return req, false
 	}
 	return req, true
+}
+
+// searchError maps a SearchOpts error to an HTTP status: context expiry
+// (client gone or deadline hit) versus invalid options.
+func searchError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		httpError(w, http.StatusRequestTimeout, err.Error())
+		return
+	}
+	httpError(w, http.StatusBadRequest, err.Error())
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -128,15 +212,100 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k too large (max 10000)")
 		return
 	}
+	opts, err := req.searchOptions(r.Context())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var st dblsh.Stats
+	opts = append(opts, dblsh.WithStats(&st))
+
 	s.mu.RLock()
 	searcher := s.searchers.Get().(*dblsh.Searcher)
-	hits := searcher.Search(req.Vector, req.K)
+	hits, err := searcher.SearchOpts(req.Vector, req.K, opts...)
 	s.searchers.Put(searcher)
 	s.mu.RUnlock()
+	if err != nil {
+		searchError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, searchResponse{Results: toHits(hits), Stats: toStats(st)})
+}
 
-	resp := searchResponse{Results: make([]searchHit, len(hits))}
-	for i, h := range hits {
-		resp.Results[i] = searchHit{ID: h.ID, Dist: h.Dist}
+type batchRequest struct {
+	Vectors [][]float32 `json:"vectors"`
+	K       int         `json:"k"`
+	queryOptions
+}
+
+type batchResponse struct {
+	Results [][]searchHit `json:"results"`
+	Stats   []queryStats  `json:"stats"`
+}
+
+func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 256<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Vectors) == 0 {
+		httpError(w, http.StatusBadRequest, "vectors must be non-empty")
+		return
+	}
+	if len(req.Vectors) > 10_000 {
+		httpError(w, http.StatusBadRequest, "too many vectors (max 10000)")
+		return
+	}
+	s.mu.RLock()
+	dim := s.idx.Dim()
+	s.mu.RUnlock()
+	for i, v := range req.Vectors {
+		if len(v) != dim {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("vector %d has dim %d, index expects %d", i, len(v), dim))
+			return
+		}
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.K > 10_000 {
+		httpError(w, http.StatusBadRequest, "k too large (max 10000)")
+		return
+	}
+	opts, err := req.searchOptions(r.Context())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var per []dblsh.Stats
+	opts = append(opts, dblsh.WithBatchStats(&per))
+
+	// The read lock spans the whole batch: SearchBatchOpts must not overlap
+	// an Add, and a batch is one consistent snapshot of the index. A large
+	// batch therefore delays writers (and readers queued behind them) until
+	// it completes — the 10k-vector cap above bounds that window.
+	s.mu.RLock()
+	results, err := s.idx.SearchBatchOpts(req.Vectors, req.K, opts...)
+	s.mu.RUnlock()
+	if err != nil {
+		searchError(w, err)
+		return
+	}
+	resp := batchResponse{
+		Results: make([][]searchHit, len(results)),
+		Stats:   make([]queryStats, len(per)),
+	}
+	for i, hits := range results {
+		resp.Results[i] = toHits(hits)
+	}
+	for i, st := range per {
+		resp.Stats[i] = *toStats(st)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -150,17 +319,32 @@ func (s *server) handleSearchRadius(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "radius must be positive")
 		return
 	}
+	// A fixed-radius query runs a single round: the ladder-shaping knobs
+	// have nothing to act on, so reject them rather than silently ignore.
+	if req.EarlyStop != 0 || req.MaxRadius != 0 {
+		httpError(w, http.StatusBadRequest, "early_stop and max_radius do not apply to fixed-radius queries")
+		return
+	}
+	opts, err := req.searchOptions(r.Context())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var st dblsh.Stats
+	opts = append(opts, dblsh.WithStats(&st))
+
 	s.mu.RLock()
 	searcher := s.searchers.Get().(*dblsh.Searcher)
-	hit, found := searcher.SearchRadius(req.Vector, req.Radius)
+	hit, found, err := searcher.SearchRadiusOpts(req.Vector, req.Radius, opts...)
 	s.searchers.Put(searcher)
 	s.mu.RUnlock()
-
-	resp := searchResponse{}
+	if err != nil {
+		searchError(w, err)
+		return
+	}
+	resp := searchResponse{Results: []searchHit{}, Stats: toStats(st)}
 	if found {
 		resp.Results = []searchHit{{ID: hit.ID, Dist: hit.Dist}}
-	} else {
-		resp.Results = []searchHit{}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

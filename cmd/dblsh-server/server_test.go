@@ -167,6 +167,20 @@ func TestSearchRadius(t *testing.T) {
 		t.Fatalf("zero radius status %d", r2.StatusCode)
 	}
 	r2.Body.Close()
+	// Ladder-shaping knobs don't apply to a single fixed-radius round and
+	// are rejected rather than silently ignored.
+	r3 := postJSON(t, ts.URL+"/search_radius",
+		searchRequest{Vector: q, Radius: 1, queryOptions: queryOptions{MaxRadius: 0.1}})
+	if r3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("max_radius on /search_radius status %d", r3.StatusCode)
+	}
+	r3.Body.Close()
+	r4 := postJSON(t, ts.URL+"/search_radius",
+		searchRequest{Vector: q, Radius: 1, queryOptions: queryOptions{EarlyStop: 2}})
+	if r4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("early_stop on /search_radius status %d", r4.StatusCode)
+	}
+	r4.Body.Close()
 }
 
 func TestAddEndpoint(t *testing.T) {
@@ -231,6 +245,160 @@ func postJSONQuiet(url string, body interface{}) int {
 	}
 	resp.Body.Close()
 	return resp.StatusCode
+}
+
+func TestStatsDeletedCount(t *testing.T) {
+	ts, idx := testServer(t)
+	if !idx.Delete(3) || !idx.Delete(4) {
+		t.Fatal("delete failed")
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	decode(t, resp, &st)
+	if st.Deleted != 2 {
+		t.Fatalf("deleted = %d, want 2", st.Deleted)
+	}
+}
+
+func TestSearchStatsEchoed(t *testing.T) {
+	ts, idx := testServer(t)
+	resp := postJSON(t, ts.URL+"/search", searchRequest{Vector: make([]float32, idx.Dim()), K: 3})
+	var sr searchResponse
+	decode(t, resp, &sr)
+	if sr.Stats == nil {
+		t.Fatal("no stats in search response")
+	}
+	if sr.Stats.Candidates == 0 || sr.Stats.Rounds == 0 || sr.Stats.FinalRadius == 0 {
+		t.Fatalf("empty stats %+v", *sr.Stats)
+	}
+}
+
+func TestSearchPerRequestOptions(t *testing.T) {
+	ts, idx := testServer(t)
+	q := make([]float32, idx.Dim())
+	search := func(opts queryOptions) searchResponse {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/search", searchRequest{Vector: q, K: 5, queryOptions: opts})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var sr searchResponse
+		decode(t, resp, &sr)
+		return sr
+	}
+	// Per-request t overrides the build-time candidate constant: budget
+	// 2·t·L+k with t=1, L=3, k=5 caps verification at 11 candidates.
+	small := search(queryOptions{T: 1})
+	large := search(queryOptions{T: 200})
+	if small.Stats.Candidates > 11 {
+		t.Fatalf("t=1 verified %d candidates, cap is 11", small.Stats.Candidates)
+	}
+	if small.Stats.Candidates >= large.Stats.Candidates {
+		t.Fatalf("t=1 vs t=200 candidates: %d vs %d",
+			small.Stats.Candidates, large.Stats.Candidates)
+	}
+	// early_stop and max_radius round-trip.
+	loose := search(queryOptions{T: 200, EarlyStop: 4})
+	if loose.Stats.Candidates > large.Stats.Candidates {
+		t.Fatalf("early_stop did more work: %d vs %d",
+			loose.Stats.Candidates, large.Stats.Candidates)
+	}
+	capped := search(queryOptions{MaxRadius: 1e-12})
+	if len(capped.Results) != 0 || capped.Stats.Rounds != 0 {
+		t.Fatalf("tiny max_radius: %d results, %d rounds",
+			len(capped.Results), capped.Stats.Rounds)
+	}
+	// Invalid knobs are rejected.
+	resp := postJSON(t, ts.URL+"/search",
+		searchRequest{Vector: q, K: 5, queryOptions: queryOptions{EarlyStop: 0.5}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("early_stop=0.5 status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestSearchFilterIDs(t *testing.T) {
+	ts, idx := testServer(t)
+	q := make([]float32, idx.Dim())
+	allow := []int{11, 22, 33}
+	resp := postJSON(t, ts.URL+"/search",
+		searchRequest{Vector: q, K: 10, queryOptions: queryOptions{FilterIDs: allow}})
+	var sr searchResponse
+	decode(t, resp, &sr)
+	if len(sr.Results) != len(allow) {
+		t.Fatalf("allowlist of %d ids returned %d results", len(allow), len(sr.Results))
+	}
+	allowed := map[int]bool{11: true, 22: true, 33: true}
+	for _, h := range sr.Results {
+		if !allowed[h.ID] {
+			t.Fatalf("filter_ids leaked id %d", h.ID)
+		}
+	}
+}
+
+func TestSearchBatchEndpoint(t *testing.T) {
+	ts, idx := testServer(t)
+	queries := make([][]float32, 5)
+	for i := range queries {
+		v := make([]float32, idx.Dim())
+		v[0] = float32(i)
+		queries[i] = v
+	}
+	resp := postJSON(t, ts.URL+"/search_batch",
+		batchRequest{Vectors: queries, K: 4, queryOptions: queryOptions{T: 50}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var br batchResponse
+	decode(t, resp, &br)
+	if len(br.Results) != len(queries) || len(br.Stats) != len(queries) {
+		t.Fatalf("%d queries gave %d results, %d stats",
+			len(queries), len(br.Results), len(br.Stats))
+	}
+	for i, hits := range br.Results {
+		if len(hits) != 4 {
+			t.Fatalf("query %d: %d hits, want 4", i, len(hits))
+		}
+		prev := -1.0
+		for _, h := range hits {
+			if h.Dist < prev {
+				t.Fatalf("query %d results not sorted", i)
+			}
+			prev = h.Dist
+		}
+		if br.Stats[i].Candidates == 0 {
+			t.Fatalf("query %d has empty stats", i)
+		}
+	}
+}
+
+func TestSearchBatchValidation(t *testing.T) {
+	ts, idx := testServer(t)
+	// Empty batch.
+	resp := postJSON(t, ts.URL+"/search_batch", batchRequest{K: 3})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// One vector of the wrong dimension poisons the batch.
+	r2 := postJSON(t, ts.URL+"/search_batch", batchRequest{
+		Vectors: [][]float32{make([]float32, idx.Dim()), {1, 2}}, K: 3})
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-dim batch status %d", r2.StatusCode)
+	}
+	r2.Body.Close()
+	// Wrong method.
+	r3, err := http.Get(ts.URL + "/search_batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /search_batch status %d", r3.StatusCode)
+	}
+	r3.Body.Close()
 }
 
 func TestLoadIndexFromFile(t *testing.T) {

@@ -25,13 +25,32 @@
 // initial bucket width w0 = 4c², L = 5 projected spaces, and K derived from
 // the dataset size. All randomness is seeded, so the same Options and data
 // always produce the same index and the same answers.
+//
+// # Per-query options
+//
+// Options freezes only the index's structural parameters. The query-phase
+// knobs — candidate budget, early-stop factor, radius cap — are per-query
+// trade-offs, set with functional SearchOption values on the *Opts entry
+// points so one index can serve heterogeneous traffic:
+//
+//	var st dblsh.Stats
+//	hits, err := idx.SearchOpts(query, 10,
+//	    dblsh.WithCandidateBudget(25),          // cheap: verify few candidates
+//	    dblsh.WithEarlyStop(1.5),               // stop the radius ladder early
+//	    dblsh.WithContext(ctx),                 // honor the request deadline
+//	    dblsh.WithFilter(func(id int) bool {    // ACL pushdown: skip before
+//	        return acl.Allowed(tenant, id)      // the distance computation
+//	    }),
+//	    dblsh.WithStats(&st),                   // observe the work done
+//	)
+//
+// Search, SearchBatch and SearchRadius are wrappers over the same machinery
+// with no options applied.
 package dblsh
 
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"dblsh/internal/core"
 	"dblsh/internal/vec"
@@ -147,13 +166,10 @@ func (idx *Index) Dim() int { return idx.dim }
 // Search returns the k approximate nearest neighbors of q, sorted by
 // ascending distance. Fewer than k results are returned only when the
 // dataset is smaller than k. It panics if len(q) != Dim() or k <= 0,
-// mirroring slice-indexing semantics for programmer errors.
+// mirroring slice-indexing semantics for programmer errors. It is
+// SearchOpts with no options.
 func (idx *Index) Search(q []float32, k int) []Result {
-	nbs := idx.inner.KANN(q, k)
-	out := make([]Result, len(nbs))
-	for i, nb := range nbs {
-		out[i] = Result{ID: nb.ID, Dist: nb.Dist}
-	}
+	out, _ := idx.SearchOpts(q, k)
 	return out
 }
 
@@ -176,13 +192,10 @@ func (idx *Index) NewSearcher() *Searcher {
 	return &Searcher{inner: idx.inner.NewSearcher()}
 }
 
-// Search behaves like Index.Search on the bound index.
+// Search behaves like Index.Search on the bound index. It is SearchOpts
+// with no options.
 func (s *Searcher) Search(q []float32, k int) []Result {
-	nbs := s.inner.KANN(q, k)
-	out := make([]Result, len(nbs))
-	for i, nb := range nbs {
-		out[i] = Result{ID: nb.ID, Dist: nb.Dist}
-	}
+	out, _ := s.SearchOpts(q, k)
 	return out
 }
 
@@ -198,8 +211,7 @@ type Stats struct {
 
 // LastStats reports statistics for the most recent query on this searcher.
 func (s *Searcher) LastStats() Stats {
-	st := s.inner.LastStats()
-	return Stats{Candidates: st.Candidates, Rounds: st.Rounds, FinalRadius: st.FinalR}
+	return statsFromCore(s.inner.LastStats())
 }
 
 // Params reports the effective index parameters after defaulting and
@@ -232,36 +244,10 @@ func (idx *Index) Add(v []float32) (int, error) {
 
 // SearchBatch answers many queries in parallel across GOMAXPROCS workers,
 // each with its own Searcher. results[i] corresponds to queries[i]. It must
-// not run concurrently with Add or Delete.
+// not run concurrently with Add or Delete. It is SearchBatchOpts with no
+// options.
 func (idx *Index) SearchBatch(queries [][]float32, k int) [][]Result {
-	out := make([][]Result, len(queries))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	if workers <= 1 {
-		for i, q := range queries {
-			out[i] = idx.Search(q, k)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s := idx.NewSearcher()
-			for i := range next {
-				out[i] = s.Search(queries[i], k)
-			}
-		}()
-	}
-	for i := range queries {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	out, _ := idx.SearchBatchOpts(queries, k)
 	return out
 }
 
@@ -279,8 +265,9 @@ func (idx *Index) Deleted() int { return idx.inner.Deleted() }
 // if some indexed point lies within distance r of q, it returns a point
 // within c·r with constant probability; if no point lies within c·r it
 // returns ok = false. It is the primitive Search's radius ladder is built
-// from, exposed for callers that know their target radius.
+// from, exposed for callers that know their target radius. It is
+// SearchRadiusOpts with no options.
 func (s *Searcher) SearchRadius(q []float32, r float64) (Result, bool) {
-	nb, ok := s.inner.RNear(q, r)
-	return Result{ID: nb.ID, Dist: nb.Dist}, ok
+	nb, ok, _ := s.SearchRadiusOpts(q, r)
+	return nb, ok
 }

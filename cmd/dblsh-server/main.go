@@ -16,6 +16,8 @@
 //	POST /search_batch    {"vectors": [[...], ...], "k": 10}
 //	POST /search_radius   {"vector": [...], "radius": 1.5}
 //	POST /vectors         {"vector": [...]}
+//	POST /delete          {"id": 7}
+//	POST /compact         {"shard": 2} (omit shard to compact all)
 //
 // Search endpoints accept optional per-request knobs — "t" (candidate
 // budget), "early_stop" (termination factor ≥ 1), "max_radius" (radius
@@ -24,6 +26,12 @@
 // response, so one running server can serve low-latency and high-recall
 // traffic side by side. /search_radius runs a single fixed-radius round, so
 // it takes only "t" and "filter_ids" and rejects the ladder-shaping knobs.
+//
+// With -shards S the index is partitioned across S independently locked
+// shards, so /vectors and /delete stall only 1/S of search capacity and
+// /compact rebuilds one shard while the rest serve; /stats reports the
+// per-shard breakdown. -compact-fraction enables automatic background
+// compaction once a shard's tombstoned fraction crosses the threshold.
 package main
 
 import (
@@ -40,19 +48,22 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		indexFile = flag.String("index", "", "index file written by Index.WriteTo (empty: build demo corpus)")
-		demoN     = flag.Int("demo-n", 50_000, "demo corpus size when -index is not given")
-		demoDim   = flag.Int("demo-dim", 64, "demo corpus dimensionality")
-		seed      = flag.Int64("seed", 1, "demo corpus / hashing seed")
+		addr        = flag.String("addr", ":8080", "listen address")
+		indexFile   = flag.String("index", "", "index file written by Index.WriteTo (empty: build demo corpus)")
+		demoN       = flag.Int("demo-n", 50_000, "demo corpus size when -index is not given")
+		demoDim     = flag.Int("demo-dim", 64, "demo corpus dimensionality")
+		seed        = flag.Int64("seed", 1, "demo corpus / hashing seed")
+		shards      = flag.Int("shards", 1, "index shards for the demo corpus (an -index file carries its own layout)")
+		compactFrac = flag.Float64("compact-fraction", 0, "auto-compact a shard when its tombstoned fraction reaches this (0 disables)")
 	)
 	flag.Parse()
 
-	idx, err := loadIndex(*indexFile, *demoN, *demoDim, *seed)
+	idx, err := loadIndex(*indexFile, *demoN, *demoDim, *seed, *shards, *compactFrac)
 	if err != nil {
 		log.Fatalf("dblsh-server: %v", err)
 	}
-	log.Printf("serving %d vectors of dim %d on %s", idx.Len(), idx.Dim(), *addr)
+	log.Printf("serving %d vectors of dim %d across %d shard(s) on %s",
+		idx.Len(), idx.Dim(), idx.Shards(), *addr)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -62,7 +73,7 @@ func main() {
 	log.Fatal(srv.ListenAndServe())
 }
 
-func loadIndex(path string, demoN, demoDim int, seed int64) (*dblsh.Index, error) {
+func loadIndex(path string, demoN, demoDim int, seed int64, shards int, compactFrac float64) (*dblsh.Index, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -73,6 +84,11 @@ func loadIndex(path string, demoN, demoDim int, seed int64) (*dblsh.Index, error
 		idx, err := dblsh.Read(f)
 		if err != nil {
 			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		// The shard layout travels with the file; the compaction policy is
+		// operational and applies to loaded indexes too.
+		if err := idx.SetCompactFraction(compactFrac); err != nil {
+			return nil, err
 		}
 		log.Printf("loaded %s in %v", path, time.Since(start).Round(time.Millisecond))
 		return idx, nil
@@ -96,5 +112,7 @@ func loadIndex(path string, demoN, demoDim int, seed int64) (*dblsh.Index, error
 			row[j] = c[j] + float32(rng.NormFloat64())
 		}
 	}
-	return dblsh.NewFromFlat(flat, demoN, demoDim, dblsh.Options{Seed: seed})
+	return dblsh.NewFromFlat(flat, demoN, demoDim, dblsh.Options{
+		Seed: seed, Shards: shards, CompactFraction: compactFrac,
+	})
 }

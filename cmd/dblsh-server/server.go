@@ -5,17 +5,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"dblsh"
 )
 
-// server wraps an index with the locking the HTTP surface needs: searches
-// run concurrently under RLock; Add (which mutates the trees) takes the
-// write lock.
+// server routes HTTP requests straight into the index with no lock of its
+// own: dblsh.Index is internally sharded and synchronized, so /search,
+// /search_batch, /vectors, /delete and /compact all run concurrently — a
+// mutation write-locks one shard while the others keep answering, instead
+// of the whole-index RWMutex this server used to take.
 type server struct {
-	mu  sync.RWMutex
 	idx *dblsh.Index
 
 	searchers sync.Pool
@@ -30,11 +33,13 @@ func newServer(idx *dblsh.Index) *server {
 // handler returns the HTTP routing table:
 //
 //	GET  /healthz         liveness probe
-//	GET  /stats           index shape and parameters
+//	GET  /stats           index shape, parameters, and per-shard state
 //	POST /search          {"vector": [...], "k": 10, "t": 25, "early_stop": 1.5, "max_radius": 8.0, "filter_ids": [...]}
 //	POST /search_batch    {"vectors": [[...], ...], "k": 10, ...same per-request knobs}
 //	POST /search_radius   {"vector": [...], "radius": 1.5, "t": 25, "filter_ids": [...]}
 //	POST /vectors         {"vector": [...]} — appends, returns its id
+//	POST /delete          {"id": 7} — tombstones a vector
+//	POST /compact         {"shard": 2} — rebuild one shard (omit for all), dropping tombstones
 //
 // The per-request knobs t, early_stop, max_radius and filter_ids are all
 // optional and default to the index's build-time configuration; filter_ids,
@@ -48,6 +53,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/search_batch", s.handleSearchBatch)
 	mux.HandleFunc("/search_radius", s.handleSearchRadius)
 	mux.HandleFunc("/vectors", s.handleAdd)
+	mux.HandleFunc("/delete", s.handleDelete)
+	mux.HandleFunc("/compact", s.handleCompact)
 	return mux
 }
 
@@ -60,16 +67,28 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+type shardStatsJSON struct {
+	Shard          int    `json:"shard"`
+	Size           int    `json:"size"`
+	Live           int    `json:"live"`
+	Deleted        int    `json:"deleted"`
+	Compactions    int    `json:"compactions"`
+	LastCompaction string `json:"last_compaction,omitempty"` // RFC 3339; absent if never
+	IndexSizeBytes int64  `json:"index_size_bytes"`
+}
+
 type statsResponse struct {
-	Vectors        int     `json:"vectors"`
-	Deleted        int     `json:"deleted"`
-	Dim            int     `json:"dim"`
-	K              int     `json:"k"`
-	L              int     `json:"l"`
-	T              int     `json:"t"`
-	C              float64 `json:"c"`
-	W0             float64 `json:"w0"`
-	IndexSizeBytes int64   `json:"index_size_bytes"`
+	Vectors        int              `json:"vectors"`
+	Deleted        int              `json:"deleted"`
+	Dim            int              `json:"dim"`
+	K              int              `json:"k"`
+	L              int              `json:"l"`
+	T              int              `json:"t"`
+	C              float64          `json:"c"`
+	W0             float64          `json:"w0"`
+	IndexSizeBytes int64            `json:"index_size_bytes"`
+	ShardCount     int              `json:"shard_count"`
+	Shards         []shardStatsJSON `json:"shards"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -77,20 +96,36 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	s.mu.RLock()
 	p := s.idx.Params()
 	resp := statsResponse{
-		Vectors:        s.idx.Len(),
-		Deleted:        s.idx.Deleted(),
-		Dim:            s.idx.Dim(),
-		K:              p.K,
-		L:              p.L,
-		T:              p.T,
-		C:              p.C,
-		W0:             p.W0,
-		IndexSizeBytes: s.idx.IndexSizeBytes(),
+		Dim:        s.idx.Dim(),
+		K:          p.K,
+		L:          p.L,
+		T:          p.T,
+		C:          p.C,
+		W0:         p.W0,
+		ShardCount: s.idx.Shards(),
 	}
-	s.mu.RUnlock()
+	// Derive the totals from the same per-shard snapshot the response
+	// shows, so vectors/deleted always agree with the shard breakdown even
+	// while mutations are in flight.
+	for _, st := range s.idx.ShardStats() {
+		js := shardStatsJSON{
+			Shard:          st.Shard,
+			Size:           st.Size,
+			Live:           st.Live,
+			Deleted:        st.Deleted,
+			Compactions:    st.Compactions,
+			IndexSizeBytes: st.IndexSizeBytes,
+		}
+		if !st.LastCompaction.IsZero() {
+			js.LastCompaction = st.LastCompaction.Format(time.RFC3339)
+		}
+		resp.Shards = append(resp.Shards, js)
+		resp.Vectors += st.Size
+		resp.Deleted += st.Deleted
+		resp.IndexSizeBytes += st.IndexSizeBytes
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -179,10 +214,7 @@ func (s *server) decodeVector(w http.ResponseWriter, r *http.Request) (searchReq
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return req, false
 	}
-	s.mu.RLock()
-	dim := s.idx.Dim()
-	s.mu.RUnlock()
-	if len(req.Vector) != dim {
+	if dim := s.idx.Dim(); len(req.Vector) != dim {
 		httpError(w, http.StatusBadRequest,
 			fmt.Sprintf("vector has dim %d, index expects %d", len(req.Vector), dim))
 		return req, false
@@ -220,11 +252,9 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var st dblsh.Stats
 	opts = append(opts, dblsh.WithStats(&st))
 
-	s.mu.RLock()
 	searcher := s.searchers.Get().(*dblsh.Searcher)
 	hits, err := searcher.SearchOpts(req.Vector, req.K, opts...)
 	s.searchers.Put(searcher)
-	s.mu.RUnlock()
 	if err != nil {
 		searchError(w, err)
 		return
@@ -261,9 +291,7 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "too many vectors (max 10000)")
 		return
 	}
-	s.mu.RLock()
 	dim := s.idx.Dim()
-	s.mu.RUnlock()
 	for i, v := range req.Vectors {
 		if len(v) != dim {
 			httpError(w, http.StatusBadRequest,
@@ -286,13 +314,10 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	var per []dblsh.Stats
 	opts = append(opts, dblsh.WithBatchStats(&per))
 
-	// The read lock spans the whole batch: SearchBatchOpts must not overlap
-	// an Add, and a batch is one consistent snapshot of the index. A large
-	// batch therefore delays writers (and readers queued behind them) until
-	// it completes — the 10k-vector cap above bounds that window.
-	s.mu.RLock()
+	// No server-side lock: the index is internally sharded, so a batch no
+	// longer delays writers — shard locks are held per ladder round, and
+	// mutations interleave between rounds and queries.
 	results, err := s.idx.SearchBatchOpts(req.Vectors, req.K, opts...)
-	s.mu.RUnlock()
 	if err != nil {
 		searchError(w, err)
 		return
@@ -333,11 +358,9 @@ func (s *server) handleSearchRadius(w http.ResponseWriter, r *http.Request) {
 	var st dblsh.Stats
 	opts = append(opts, dblsh.WithStats(&st))
 
-	s.mu.RLock()
 	searcher := s.searchers.Get().(*dblsh.Searcher)
 	hit, found, err := searcher.SearchRadiusOpts(req.Vector, req.Radius, opts...)
 	s.searchers.Put(searcher)
-	s.mu.RUnlock()
 	if err != nil {
 		searchError(w, err)
 		return
@@ -358,14 +381,73 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.mu.Lock()
 	id, err := s.idx.Add(req.Vector)
-	s.mu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, addResponse{ID: id})
+}
+
+type deleteRequest struct {
+	// ID is a pointer so a request that omits the field is distinguishable
+	// from a legitimate {"id": 0}.
+	ID *int `json:"id"`
+}
+
+type deleteResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req deleteRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.ID == nil {
+		httpError(w, http.StatusBadRequest, "missing id")
+		return
+	}
+	// Deleting an unknown or already-deleted id is not an error: the
+	// response reports whether this request removed it.
+	writeJSON(w, http.StatusOK, deleteResponse{Deleted: s.idx.Delete(*req.ID)})
+}
+
+type compactRequest struct {
+	// Shard selects one shard to compact; omit (or null) to compact all.
+	Shard *int `json:"shard"`
+}
+
+type compactResponse struct {
+	Removed int `json:"removed"`
+}
+
+func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req compactRequest
+	// An empty body means "compact everything".
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Shard == nil {
+		writeJSON(w, http.StatusOK, compactResponse{Removed: s.idx.Compact()})
+		return
+	}
+	removed, err := s.idx.CompactShard(*req.Shard)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, compactResponse{Removed: removed})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

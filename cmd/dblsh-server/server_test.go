@@ -17,6 +17,11 @@ import (
 
 func testIndex(t *testing.T) *dblsh.Index {
 	t.Helper()
+	return testIndexSharded(t, 1)
+}
+
+func testIndexSharded(t *testing.T, shards int) *dblsh.Index {
+	t.Helper()
 	rng := rand.New(rand.NewSource(4))
 	data := make([][]float32, 1000)
 	for i := range data {
@@ -26,7 +31,7 @@ func testIndex(t *testing.T) *dblsh.Index {
 		}
 		data[i] = v
 	}
-	idx, err := dblsh.New(data, dblsh.Options{K: 6, L: 3, T: 20, Seed: 4})
+	idx, err := dblsh.New(data, dblsh.Options{K: 6, L: 3, T: 20, Seed: 4, Shards: shards})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,6 +40,13 @@ func testIndex(t *testing.T) *dblsh.Index {
 
 func testServer(t *testing.T) (*httptest.Server, *dblsh.Index) {
 	idx := testIndex(t)
+	ts := httptest.NewServer(newServer(idx).handler())
+	t.Cleanup(ts.Close)
+	return ts, idx
+}
+
+func testServerSharded(t *testing.T, shards int) (*httptest.Server, *dblsh.Index) {
+	idx := testIndexSharded(t, shards)
 	ts := httptest.NewServer(newServer(idx).handler())
 	t.Cleanup(ts.Close)
 	return ts, idx
@@ -401,6 +413,151 @@ func TestSearchBatchValidation(t *testing.T) {
 	r3.Body.Close()
 }
 
+func TestDeleteEndpoint(t *testing.T) {
+	ts, _ := testServerSharded(t, 3)
+	id := 7
+	resp := postJSON(t, ts.URL+"/delete", deleteRequest{ID: &id})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var dr deleteResponse
+	decode(t, resp, &dr)
+	if !dr.Deleted {
+		t.Fatal("first delete of id 7 reported deleted=false")
+	}
+	// Second delete of the same id is a no-op, not an error.
+	r2 := postJSON(t, ts.URL+"/delete", deleteRequest{ID: &id})
+	decode(t, r2, &dr)
+	if dr.Deleted {
+		t.Fatal("second delete of id 7 reported deleted=true")
+	}
+	// The deleted id no longer appears in searches.
+	r3 := postJSON(t, ts.URL+"/search", searchRequest{Vector: make([]float32, 16), K: 1000})
+	var sr searchResponse
+	decode(t, r3, &sr)
+	for _, h := range sr.Results {
+		if h.ID == id {
+			t.Fatal("deleted id still returned by /search")
+		}
+	}
+	// Missing id field is a 400.
+	r4 := postJSON(t, ts.URL+"/delete", struct{}{})
+	if r4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing-id status %d", r4.StatusCode)
+	}
+	r4.Body.Close()
+}
+
+func TestCompactEndpoint(t *testing.T) {
+	ts, idx := testServerSharded(t, 3)
+	for id := 0; id < 90; id++ {
+		idx.Delete(id)
+	}
+	// Compact a single shard: only its tombstones are reclaimed.
+	shardNo := 0
+	resp := postJSON(t, ts.URL+"/compact", compactRequest{Shard: &shardNo})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var cr compactResponse
+	decode(t, resp, &cr)
+	if cr.Removed != 30 {
+		t.Fatalf("compacting shard 0 removed %d, want 30", cr.Removed)
+	}
+	// Compact the rest.
+	r2 := postJSON(t, ts.URL+"/compact", compactRequest{})
+	decode(t, r2, &cr)
+	if cr.Removed != 60 {
+		t.Fatalf("compacting all removed %d, want 60", cr.Removed)
+	}
+	if idx.Deleted() != 0 {
+		t.Fatalf("deleted = %d after full compaction", idx.Deleted())
+	}
+	// Out-of-range shard is a 400.
+	bad := 99
+	r3 := postJSON(t, ts.URL+"/compact", compactRequest{Shard: &bad})
+	if r3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad shard status %d", r3.StatusCode)
+	}
+	r3.Body.Close()
+}
+
+func TestStatsPerShard(t *testing.T) {
+	ts, idx := testServerSharded(t, 4)
+	idx.Delete(0) // routes to shard 0
+	if _, err := idx.CompactShard(0); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	decode(t, resp, &st)
+	if st.ShardCount != 4 || len(st.Shards) != 4 {
+		t.Fatalf("shard count %d / %d entries", st.ShardCount, len(st.Shards))
+	}
+	sum := 0
+	for i, sh := range st.Shards {
+		if sh.Shard != i {
+			t.Fatalf("shard %d reported as %d", i, sh.Shard)
+		}
+		sum += sh.Size
+	}
+	if sum != st.Vectors || st.Vectors != 999 {
+		t.Fatalf("shard sizes sum to %d, total says %d", sum, st.Vectors)
+	}
+	if st.Shards[0].Compactions != 1 || st.Shards[0].LastCompaction == "" {
+		t.Fatalf("shard 0 compaction not reported: %+v", st.Shards[0])
+	}
+	if st.Shards[1].Compactions != 0 || st.Shards[1].LastCompaction != "" {
+		t.Fatalf("shard 1 reports a compaction it never had: %+v", st.Shards[1])
+	}
+}
+
+// TestConcurrentMixedTraffic hammers a sharded server with every mutating
+// and searching endpoint at once; under -race this is the regression net
+// for the lock-free routing.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	ts, idx := testServerSharded(t, 4)
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				switch g % 4 {
+				case 0:
+					if st := postJSONQuiet(ts.URL+"/search", searchRequest{Vector: make([]float32, idx.Dim()), K: 3}); st != http.StatusOK {
+						errs <- fmt.Errorf("search status %d", st)
+					}
+				case 1:
+					v := make([]float32, idx.Dim())
+					v[0] = float32(g*100 + i)
+					if st := postJSONQuiet(ts.URL+"/vectors", searchRequest{Vector: v}); st != http.StatusOK {
+						errs <- fmt.Errorf("add status %d", st)
+					}
+				case 2:
+					id := g*37 + i
+					if st := postJSONQuiet(ts.URL+"/delete", deleteRequest{ID: &id}); st != http.StatusOK {
+						errs <- fmt.Errorf("delete status %d", st)
+					}
+				case 3:
+					if st := postJSONQuiet(ts.URL+"/compact", compactRequest{}); st != http.StatusOK {
+						errs <- fmt.Errorf("compact status %d", st)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
 func TestLoadIndexFromFile(t *testing.T) {
 	idx := testIndex(t)
 	dir := t.TempDir()
@@ -414,7 +571,7 @@ func TestLoadIndexFromFile(t *testing.T) {
 	}
 	f.Close()
 
-	loaded, err := loadIndex(path, 0, 0, 0)
+	loaded, err := loadIndex(path, 0, 0, 0, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,17 +581,20 @@ func TestLoadIndexFromFile(t *testing.T) {
 }
 
 func TestLoadIndexDemo(t *testing.T) {
-	idx, err := loadIndex("", 500, 8, 3)
+	idx, err := loadIndex("", 500, 8, 3, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if idx.Len() != 500 || idx.Dim() != 8 {
 		t.Fatalf("demo shape %d×%d", idx.Len(), idx.Dim())
 	}
+	if idx.Shards() != 4 {
+		t.Fatalf("demo shards = %d, want 4", idx.Shards())
+	}
 }
 
 func TestLoadIndexMissingFile(t *testing.T) {
-	if _, err := loadIndex("/nonexistent/path.dblsh", 0, 0, 0); err == nil {
+	if _, err := loadIndex("/nonexistent/path.dblsh", 0, 0, 0, 1, 0); err == nil {
 		t.Fatal("missing file must error")
 	}
 }

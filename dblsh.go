@@ -46,13 +46,38 @@
 //
 // Search, SearchBatch and SearchRadius are wrappers over the same machinery
 // with no options applied.
+//
+// # Concurrency and sharding
+//
+// An Index is safe for fully concurrent use: searches, Add, Delete,
+// compaction and WriteTo may all overlap. Internally the dataset is
+// partitioned across Options.Shards independent shards (default 1), each a
+// complete DB-LSH index over its stripe guarded by its own read-write lock.
+// A search runs the radius ladder round-synchronized across all shards
+// under per-round read locks, merging candidates into one global top-k
+// with one budget and one termination test — the same work profile as a
+// monolithic index, partitioned. An Add or Delete write-locks exactly one
+// shard, so with S shards a mutation stalls at most one round of one
+// shard's sub-queries instead of the whole index:
+//
+//	idx, err := dblsh.New(data, dblsh.Options{Shards: 8})
+//	go func() { idx.Add(v) }()          // locks one shard briefly
+//	hits := idx.Search(q, 10)           // the other 7 keep answering
+//
+// Delete only tombstones; CompactShard rebuilds one shard from its live
+// vectors — dropping the tombstone debt — while every shard, including the
+// one being compacted, keeps serving (the rebuild holds no lock; only a
+// short swap does). Options.CompactFraction automates this per shard in
+// the background. Global ids are stable across all of it.
 package dblsh
 
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"dblsh/internal/core"
+	"dblsh/internal/shard"
 	"dblsh/internal/vec"
 )
 
@@ -96,13 +121,32 @@ type Options struct {
 	// radius r instead of C·r. Values above 1 stop earlier, trading recall
 	// for latency. 0 (or 1) reproduces the paper's Algorithm 2 exactly.
 	EarlyStopFactor float64
+
+	// Shards partitions the dataset across that many independent shards,
+	// each with its own lock, so a mutation write-locks 1/Shards of the
+	// index and compaction runs per shard. 0 or 1 keeps the classic
+	// single-shard index. A query runs one radius ladder round-synchronized
+	// across all shards — one merged top-k, one candidate budget, one
+	// termination test — so total verification work matches the
+	// single-shard index; the residual cost is S tree traversals per
+	// round. Writes and compaction gain availability. With more than one
+	// shard NewFromFlat copies the data into per-shard layouts instead of
+	// adopting the caller's slice.
+	Shards int
+
+	// CompactFraction, when positive, enables automatic background
+	// compaction: a Delete that pushes a shard's tombstoned fraction to the
+	// threshold schedules a rebuild of that shard from its live vectors.
+	// Must be below 1. 0 disables; reclaim manually with CompactShard.
+	CompactFraction float64
 }
 
-// Index answers approximate nearest neighbor queries over a fixed dataset.
-// It is safe for concurrent use.
+// Index answers approximate nearest neighbor queries. It is safe for fully
+// concurrent use, including searches overlapping Add, Delete, compaction
+// and WriteTo.
 type Index struct {
-	inner *core.Index
-	dim   int
+	set *shard.Set
+	dim int
 }
 
 // New builds an index over data, copying the vectors into an internal
@@ -144,8 +188,13 @@ func NewFromFlat(flat []float32, n, dim int, opts Options) (*Index, error) {
 	if opts.EarlyStopFactor < 0 || (opts.EarlyStopFactor > 0 && opts.EarlyStopFactor < 1) {
 		return nil, fmt.Errorf("dblsh: EarlyStopFactor must be ≥ 1 (or 0 for the default), got %v", opts.EarlyStopFactor)
 	}
-	m := vec.WrapMatrix(flat, n, dim)
-	inner := core.Build(m, core.Config{
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("dblsh: Shards must be non-negative, got %d", opts.Shards)
+	}
+	if opts.CompactFraction < 0 || opts.CompactFraction >= 1 {
+		return nil, fmt.Errorf("dblsh: CompactFraction must be in [0,1), got %v", opts.CompactFraction)
+	}
+	set := shard.Build(flat, n, dim, opts.Shards, opts.CompactFraction, core.Config{
 		C:               opts.C,
 		W0:              opts.W0,
 		K:               opts.K,
@@ -154,14 +203,25 @@ func NewFromFlat(flat []float32, n, dim int, opts Options) (*Index, error) {
 		Seed:            opts.Seed,
 		EarlyStopFactor: opts.EarlyStopFactor,
 	})
-	return &Index{inner: inner, dim: dim}, nil
+	return &Index{set: set, dim: dim}, nil
 }
 
-// Len returns the number of indexed vectors.
-func (idx *Index) Len() int { return idx.inner.Size() }
+// Len returns the number of resident vectors, live plus tombstoned. It
+// shrinks when a compaction reclaims tombstones; ids, however, are never
+// reused — see NextID for the id-space bound.
+func (idx *Index) Len() int { return idx.set.Len() }
+
+// NextID returns the exclusive upper bound of the id space: every id ever
+// returned by Add (and every build-time id) is below it, whether or not the
+// vector is still live.
+func (idx *Index) NextID() int { return idx.set.NextID() }
 
 // Dim returns the vector dimensionality.
 func (idx *Index) Dim() int { return idx.dim }
+
+// Shards returns the number of index shards (1 unless Options.Shards
+// requested more).
+func (idx *Index) Shards() int { return idx.set.Shards() }
 
 // Search returns the k approximate nearest neighbors of q, sorted by
 // ascending distance. Fewer than k results are returned only when the
@@ -175,21 +235,26 @@ func (idx *Index) Search(q []float32, k int) []Result {
 
 // SearchOne returns the single approximate nearest neighbor of q.
 func (idx *Index) SearchOne(q []float32) (Result, bool) {
-	nb, ok := idx.inner.ANN(q)
-	return Result{ID: nb.ID, Dist: nb.Dist}, ok
+	nbs, _, _ := idx.set.Search(q, 1, core.QueryParams{})
+	if len(nbs) == 0 {
+		return Result{}, false
+	}
+	return Result{ID: nbs[0].ID, Dist: nbs[0].Dist}, true
 }
 
 // Searcher is a reusable per-goroutine query context. For query-heavy loops
 // it avoids the internal pool round-trip of Index.Search and exposes query
-// statistics.
+// statistics. It holds one core searcher per shard; on a sharded index a
+// query coordinates one radius ladder across all of them.
 type Searcher struct {
-	inner *core.Searcher
+	inner *shard.Searcher
 }
 
 // NewSearcher returns a searcher bound to the index. A Searcher must only be
-// used from one goroutine at a time.
+// used from one goroutine at a time; it remains valid across Add, Delete
+// and compaction.
 func (idx *Index) NewSearcher() *Searcher {
-	return &Searcher{inner: idx.inner.NewSearcher()}
+	return &Searcher{inner: idx.set.NewSearcher()}
 }
 
 // Search behaves like Index.Search on the bound index. It is SearchOpts
@@ -224,42 +289,109 @@ type Params struct {
 
 // Params returns the parameters the index was built with.
 func (idx *Index) Params() Params {
-	cfg := idx.inner.Params()
+	cfg := idx.set.Params()
 	return Params{C: cfg.C, W0: cfg.W0, K: cfg.K, L: cfg.L, T: cfg.T}
 }
 
 // IndexSizeBytes estimates the memory held by the projections and trees,
 // excluding the original vectors.
-func (idx *Index) IndexSizeBytes() int64 { return idx.inner.IndexSizeBytes() }
+func (idx *Index) IndexSizeBytes() int64 { return idx.set.IndexSizeBytes() }
 
-// Add inserts a vector into the index and returns its id (the next row
-// number). Add must not be called concurrently with searches or other Adds;
-// quiesce queries first. Searchers created before an Add remain valid.
+// Add inserts a vector and returns its id. Ids are allocated sequentially
+// and never reused. Add is safe to call concurrently with searches and
+// other mutations: it write-locks only the shard the new vector routes to,
+// so on a sharded index the other shards keep answering. Searchers created
+// before an Add remain valid.
 func (idx *Index) Add(v []float32) (int, error) {
 	if len(v) != idx.dim {
 		return 0, fmt.Errorf("dblsh: vector dim %d, index dim %d", len(v), idx.dim)
 	}
-	return idx.inner.Insert(v), nil
+	return idx.set.Add(v), nil
 }
 
 // SearchBatch answers many queries in parallel across GOMAXPROCS workers,
-// each with its own Searcher. results[i] corresponds to queries[i]. It must
-// not run concurrently with Add or Delete. It is SearchBatchOpts with no
-// options.
+// each with its own Searcher. results[i] corresponds to queries[i]. It is
+// safe to run concurrently with Add and Delete. It is SearchBatchOpts with
+// no options.
 func (idx *Index) SearchBatch(queries [][]float32, k int) [][]Result {
 	out, _ := idx.SearchBatchOpts(queries, k)
 	return out
 }
 
 // Delete removes vector id from future search results. The underlying
-// storage is tombstoned, not reclaimed — rebuild the index (New over the
-// surviving vectors) when Deleted() grows to a large fraction of Len().
-// Delete must not run concurrently with searches or mutations. It returns
-// false when id is out of range or already deleted.
-func (idx *Index) Delete(id int) bool { return idx.inner.Delete(id) }
+// storage is tombstoned, not reclaimed — reclaim with CompactShard/Compact,
+// or set Options.CompactFraction to automate it. Delete is safe to call
+// concurrently with searches and mutations: it write-locks only the shard
+// that owns id. It returns false when id was never allocated, is already
+// deleted, or was reclaimed by a compaction.
+func (idx *Index) Delete(id int) bool { return idx.set.Delete(id) }
 
 // Deleted returns the number of tombstoned vectors.
-func (idx *Index) Deleted() int { return idx.inner.Deleted() }
+func (idx *Index) Deleted() int { return idx.set.Deleted() }
+
+// CompactShard rebuilds shard s from its live vectors, dropping its
+// tombstones while every other shard keeps serving searches and mutations.
+// Global ids are preserved. It returns the number of tombstones reclaimed.
+func (idx *Index) CompactShard(s int) (int, error) {
+	if s < 0 || s >= idx.set.Shards() {
+		return 0, fmt.Errorf("dblsh: shard %d out of range [0,%d)", s, idx.set.Shards())
+	}
+	return idx.set.CompactShard(s), nil
+}
+
+// Compact compacts every shard in turn (at most one shard is rebuilding at
+// any moment, and even it keeps serving) and returns the total number of
+// tombstones reclaimed.
+func (idx *Index) Compact() int { return idx.set.Compact() }
+
+// SetCompactFraction replaces the auto-compaction threshold at runtime —
+// see Options.CompactFraction. The threshold is an operational policy, not
+// part of the persisted index state, so an index loaded with Read starts
+// with auto-compaction disabled; use this to enable it.
+func (idx *Index) SetCompactFraction(f float64) error {
+	if f < 0 || f >= 1 {
+		return fmt.Errorf("dblsh: CompactFraction must be in [0,1), got %v", f)
+	}
+	idx.set.SetCompactFraction(f)
+	return nil
+}
+
+// ShardStat describes one shard's current state.
+type ShardStat struct {
+	// Shard is the shard's index in [0, Shards()).
+	Shard int
+	// Size is the number of resident vectors, live plus tombstoned.
+	Size int
+	// Live is the number of vectors searches can still return.
+	Live int
+	// Deleted is the tombstone count a compaction would reclaim.
+	Deleted int
+	// Compactions counts completed compactions of this shard.
+	Compactions int
+	// LastCompaction is when the most recent compaction finished; zero if
+	// the shard has never been compacted.
+	LastCompaction time.Time
+	// IndexSizeBytes estimates the shard's projection and tree footprint.
+	IndexSizeBytes int64
+}
+
+// ShardStats reports per-shard statistics, in shard order.
+func (idx *Index) ShardStats() []ShardStat {
+	infos := idx.set.Infos()
+	out := make([]ShardStat, len(infos))
+	for i, in := range infos {
+		out[i] = ShardStat{
+			Shard:          in.Shard,
+			Size:           in.Size,
+			Live:           in.Live,
+			Deleted:        in.Deleted,
+			Compactions:    in.Compactions,
+			LastCompaction: in.LastCompaction,
+			IndexSizeBytes: in.IndexSizeBytes,
+		}
+	}
+	return out
+}
 
 // SearchRadius answers a single (r,c)-NN query (Algorithm 1 of the paper):
 // if some indexed point lies within distance r of q, it returns a point

@@ -26,20 +26,41 @@ func FuzzRead(f *testing.F) {
 	flipped[20] ^= 0x40
 	f.Add(flipped)
 	f.Add([]byte("DBLSHv1\n garbage"))
+	f.Add([]byte("DBLSHv2\n garbage"))
 	f.Add([]byte{})
+	// A sharded index with tombstones exercises the v2 id-map and bitmap
+	// sections, and a legacy v1 file exercises the compatibility path.
+	sharded, err := New(data, Options{K: 4, L: 2, Seed: 91, Shards: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	sharded.Delete(1)
+	var validSharded bytes.Buffer
+	if _, err := sharded.WriteTo(&validSharded); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(validSharded.Bytes())
+	f.Add(writeV1File(data, 4, 2, 10, 1.5, 9, 1, 91))
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		loaded, err := Read(bytes.NewReader(raw))
 		if err != nil {
 			return
 		}
-		// Anything the parser accepts must be a usable index.
-		if loaded.Len() <= 0 || loaded.Dim() <= 0 {
+		// Anything the parser accepts must be a usable index. Len 0 is
+		// legitimate for a v2 file (fully deleted and compacted), but the
+		// index must still answer queries without panicking.
+		if loaded.Len() < 0 || loaded.Dim() <= 0 {
 			t.Fatalf("accepted index with shape %d×%d", loaded.Len(), loaded.Dim())
 		}
 		q := make([]float32, loaded.Dim())
-		if res := loaded.Search(q, 1); len(res) != 1 {
-			t.Fatalf("accepted index cannot answer queries")
+		live := loaded.Len() - loaded.Deleted()
+		res := loaded.Search(q, 1)
+		if live > 0 && len(res) != 1 {
+			t.Fatalf("accepted index with %d live points cannot answer queries", live)
+		}
+		if live <= 0 && len(res) != 0 {
+			t.Fatalf("index with no live points returned %d results", len(res))
 		}
 	})
 }

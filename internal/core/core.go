@@ -91,6 +91,14 @@ func (c Config) withDefaults(n int) Config {
 	return c
 }
 
+// Resolved returns the configuration after defaulting and derivation for a
+// dataset of n points — the parameters Build would actually use. It is
+// idempotent: resolving an already-resolved configuration changes nothing,
+// so a caller (such as the shard layer) can resolve once against the full
+// dataset size and hand the result to several smaller Builds without the
+// size-dependent K derivation diverging per shard.
+func (c Config) Resolved(n int) Config { return c.withDefaults(n) }
+
 // Index is an immutable DB-LSH index over a dataset. Concurrent queries are
 // safe; each goroutine should use its own Searcher.
 type Index struct {
@@ -228,6 +236,33 @@ func (idx *Index) Delete(id int) bool {
 // Deleted returns the number of tombstoned points.
 func (idx *Index) Deleted() int { return idx.deletedCount }
 
+// IsDeleted reports whether id is tombstoned.
+func (idx *Index) IsDeleted(id int) bool { return idx.isDeleted(id) }
+
+// DeletedBits returns the tombstone bitmap: bit i is true when point i is
+// deleted. The slice may be nil (no deletions yet) or shorter than Size()
+// (points appended since the last Delete are live). Callers must treat it
+// as read-only; it aliases the index's own state.
+func (idx *Index) DeletedBits() []bool { return idx.deleted }
+
+// LiveRows returns a compacted copy of the live (non-tombstoned) rows
+// together with each copied row's current id: row j of the returned matrix
+// is the point that was ids[j] in this index. It is the rebuild primitive
+// for compaction — Build over the returned matrix yields an equivalent
+// index with zero tombstone debt.
+func (idx *Index) LiveRows() (*vec.Matrix, []int) {
+	m := vec.NewMatrix(idx.Live(), idx.data.Dim())
+	ids := make([]int, 0, idx.Live())
+	for i := 0; i < idx.data.Rows(); i++ {
+		if idx.isDeleted(i) {
+			continue
+		}
+		m.SetRow(len(ids), idx.data.Row(i))
+		ids = append(ids, i)
+	}
+	return m, ids
+}
+
 // Live returns the number of points that queries can still return.
 func (idx *Index) Live() int { return idx.data.Rows() - idx.deletedCount }
 
@@ -284,6 +319,11 @@ type QueryParams struct {
 	// exceed it are not executed and the query returns whatever candidates
 	// it has. 0 leaves the ladder unbounded.
 	MaxRadius float64
+	// Budget, when positive, replaces the derived candidate budget (2tL+k
+	// for the ladder, 2tL+1 for a fixed-radius round) with an absolute cap
+	// on exact distance computations. The shard coordinator uses it to
+	// share one budget across per-shard probes.
+	Budget int
 	// Ctx, when non-nil, is polled between radius rounds; once it is done
 	// the query stops and returns the best candidates found so far together
 	// with Ctx.Err().
@@ -294,6 +334,18 @@ type QueryParams struct {
 	// consume none of the candidate budget.
 	Filter func(id int) bool
 }
+
+// Resolve merges the per-query overrides with the build-time configuration,
+// returning the effective candidate constant and early-stop factor. It is
+// the single source of the knob-defaulting rules; the shard coordinator
+// uses it so the multi-shard ladder terminates exactly like the
+// single-shard one.
+func (p QueryParams) Resolve(cfg Config) (t int, stopFactor float64) {
+	return p.resolve(cfg)
+}
+
+// Cancelled reports whether the query's context has expired.
+func (p QueryParams) Cancelled() bool { return p.cancelled() }
 
 // resolve merges the per-query overrides with the build-time configuration.
 func (p QueryParams) resolve(cfg Config) (t int, stopFactor float64) {
@@ -383,11 +435,7 @@ func (s *Searcher) LastStats() Stats { return s.last }
 // and growing the stamp array if the index gained points since the searcher
 // was created.
 func (s *Searcher) freshEpoch() {
-	if n := s.idx.data.Rows(); n > len(s.visited) {
-		grown := make([]uint32, n)
-		copy(grown, s.visited)
-		s.visited = grown
-	}
+	s.ensureStamps()
 	s.epoch++
 	if s.epoch == 0 {
 		for i := range s.visited {
@@ -448,6 +496,9 @@ func (s *Searcher) KANNParams(q []float32, k int, p QueryParams) ([]vec.Neighbor
 	t, stopFactor := p.resolve(idx.cfg)
 	cand := vec.NewTopK(k)
 	budget := 2*t*idx.cfg.L + k
+	if p.Budget > 0 {
+		budget = p.Budget
+	}
 	cnt := 0
 	live := idx.Live()
 	c := idx.cfg.C
@@ -523,6 +574,12 @@ func (s *Searcher) KANNParams(q []float32, k int, p QueryParams) ([]vec.Neighbor
 // hash would contain the entire bounding box of every tree.
 func (s *Searcher) coversAllTrees(w float64) bool {
 	for i, tr := range s.idx.trees {
+		if tr.Size() == 0 {
+			// An empty tree is trivially covered; its Bounds is the zero
+			// rect at the origin, which would otherwise hold the ladder
+			// open until the window happens to reach the origin.
+			continue
+		}
 		b := tr.Bounds()
 		half := float32(w / 2)
 		for j, ctr := range s.qhash[i] {
@@ -554,6 +611,99 @@ func (s *Searcher) finalSweep(q []float32, cand *vec.TopK, cnt *int, budget int,
 		cand.Push(id, vec.Dist(q, idx.data.Row(id)))
 		*cnt++
 		return *cnt < budget
+	})
+}
+
+// Round-level query primitives.
+//
+// KANNParams runs the whole radius ladder against one index. A sharded
+// index needs the ladder *split across indexes*: every shard executes the
+// same round r, cr, c²r, … and a coordinator merges candidates, applies the
+// global budget and the global termination test — otherwise each shard
+// re-runs the full ladder against its sparser stripe and a fanned-out query
+// costs S× the paper's work profile. Begin/RunRound/Covers/Sweep expose one
+// round as the unit of work so the shard layer can be that coordinator.
+
+// Begin prepares the searcher for a round-coordinated query: it starts a
+// fresh visited epoch and hashes q into each projected space. Call it once
+// per query before the first RunRound.
+func (s *Searcher) Begin(q []float32) {
+	if len(q) != s.idx.data.Dim() {
+		panic(fmt.Sprintf("core: query dim %d, index dim %d", len(q), s.idx.data.Dim()))
+	}
+	s.freshEpoch()
+	for i := 0; i < s.idx.cfg.L; i++ {
+		s.qhash[i] = s.idx.family.Compound(i).Hash(s.qhash[i][:0], q)
+	}
+}
+
+// ensureStamps grows the visited-stamp array if the index gained points
+// since the previous round (the coordinator releases the index's lock
+// between rounds, so appends can interleave).
+func (s *Searcher) ensureStamps() {
+	if n := s.idx.data.Rows(); n > len(s.visited) {
+		grown := make([]uint32, n)
+		copy(grown, s.visited)
+		s.visited = grown
+	}
+}
+
+// RunRound executes the L window queries of one (r,c)-NN round: every
+// previously-unvisited, live point inside a query-centric bucket of width
+// w0·r that passes filter is reported to emit with its exact distance.
+// emit returns false to abort the round (budget exhausted). The caller owns
+// the candidate heap, the budget and the termination test.
+func (s *Searcher) RunRound(q []float32, r float64, filter func(int) bool, emit func(id int, dist float64) bool) {
+	idx := s.idx
+	s.ensureStamps()
+	done := false
+	for i := 0; i < idx.cfg.L && !done; i++ {
+		w := rstar.WindowRect(s.qhash[i], idx.cfg.W0*r)
+		idx.trees[i].Window(w, func(id int) bool {
+			if s.visited[id] == s.epoch {
+				return true
+			}
+			s.visited[id] = s.epoch
+			if idx.isDeleted(id) {
+				return true
+			}
+			if filter != nil && !filter(id) {
+				return true
+			}
+			if !emit(id, vec.Dist(q, idx.data.Row(id))) {
+				done = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// Covers reports whether the next round at radius r would materialize
+// buckets containing every indexed point — the ladder's natural end.
+func (s *Searcher) Covers(r float64) bool { return s.coversAllTrees(s.idx.cfg.W0 * r) }
+
+// Sweep verifies all remaining unvisited live points, for the final
+// full-coverage round. Like RunRound, emit returning false aborts.
+func (s *Searcher) Sweep(q []float32, filter func(int) bool, emit func(id int, dist float64) bool) {
+	idx := s.idx
+	if idx.data.Rows() == 0 {
+		return
+	}
+	s.ensureStamps()
+	tr := idx.trees[0]
+	tr.Window(tr.Bounds(), func(id int) bool {
+		if s.visited[id] == s.epoch {
+			return true
+		}
+		s.visited[id] = s.epoch
+		if idx.isDeleted(id) {
+			return true
+		}
+		if filter != nil && !filter(id) {
+			return true
+		}
+		return emit(id, vec.Dist(q, idx.data.Row(id)))
 	})
 }
 
@@ -591,6 +741,9 @@ func (s *Searcher) RNearParams(q []float32, r float64, p QueryParams) (vec.Neigh
 
 	t, _ := p.resolve(idx.cfg)
 	budget := 2*t*idx.cfg.L + 1
+	if p.Budget > 0 {
+		budget = p.Budget
+	}
 	cnt := 0
 	c := idx.cfg.C
 	var found vec.Neighbor

@@ -1,0 +1,897 @@
+// Package shard partitions a DB-LSH index across S independent core shards
+// so that mutations never block searches globally. Each shard is a complete
+// core.Index over a disjoint stripe of the dataset, guarded by its own
+// RWMutex; an Insert or Delete takes the write lock of exactly one shard —
+// the other S−1 keep answering.
+//
+// # Queries
+//
+// A (c,k)-ANN query runs the paper's radius ladder round-synchronized
+// across shards: every shard executes the same round r, cr, c²r, … under
+// its own read lock, the per-round candidates merge into one global top-k,
+// and the candidate budget 2tL+k and the termination test apply to that
+// merged state, the budget flowing through the shards in visit order
+// exactly as a monolithic index spends it across its L trees. The query
+// therefore does the same total work as against one monolithic index — S
+// independent ladders would each pay the full budget against a sparser
+// stripe — while holding each shard's lock only for its slice of a round,
+// so a search never waits for more than one in-flight mutation per shard
+// round. Per-query work is deliberately sequential; parallelism comes from
+// concurrent queries, batch workers and server requests.
+//
+// # Compaction
+//
+// Compaction rebuilds one shard from its live rows, dropping tombstone
+// debt, while every shard — including the one being compacted — keeps
+// serving: the shard is snapshotted under a read lock, rebuilt with no
+// locks held, and swapped in under a write lock held just long enough to
+// replay the mutations that raced the rebuild. This turns the paper's
+// offline full rebuild into an online per-shard operation.
+//
+// # Identity
+//
+// Callers address points by global id; each shard stores points under dense
+// local ids. Routing is arithmetic — global id g lives in shard g mod S —
+// and never changes for the lifetime of a point, so the only mutable state
+// is the local position, guarded by the owning shard's lock. Every shard
+// keeps globals (local → global, append-ordered) and, lazily, a reverse map
+// for when the initial stripe pattern is broken by out-of-order concurrent
+// inserts or by a compaction.
+//
+// # Locking
+//
+// There is no global lock anywhere. The only cross-shard synchronization
+// is the atomic global-id allocator; even persistence (SnapshotShard)
+// copies one shard at a time. No code path ever holds two shard locks, so
+// the lock graph is trivially acyclic.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dblsh/internal/core"
+	"dblsh/internal/vec"
+)
+
+// autoCompactMinRows is the smallest shard auto-compaction bothers with:
+// below this, a rebuild costs more than the tombstones it reclaims.
+const autoCompactMinRows = 256
+
+// Set is a sharded DB-LSH index. All methods are safe for concurrent use.
+type Set struct {
+	dim         int
+	cfg         core.Config   // resolved against the build-time dataset size
+	compactFrac atomic.Uint64 // auto-compaction threshold (float64 bits); 0 disables
+	shards      []*state
+	nextID      atomic.Int64 // global id allocator / id-space bound
+	pool        sync.Pool    // of *Searcher, for the pooled entry points
+}
+
+// SetCompactFraction replaces the auto-compaction threshold: a Delete that
+// pushes a shard's tombstoned fraction to f schedules a background rebuild
+// of that shard. 0 disables. Safe to call at any time; a loaded index
+// starts with the policy disabled because the threshold is an operational
+// knob, not part of the persisted state.
+func (s *Set) SetCompactFraction(f float64) {
+	s.compactFrac.Store(math.Float64bits(f))
+}
+
+// CompactFraction returns the current auto-compaction threshold.
+func (s *Set) CompactFraction() float64 {
+	return math.Float64frombits(s.compactFrac.Load())
+}
+
+// state is one shard: a core index plus the id mapping and its lock.
+type state struct {
+	mu sync.RWMutex
+	// compactMu serializes compactions of this shard. It is never taken
+	// while holding mu (compaction acquires mu only in short windows), so a
+	// waiting compaction never blocks traffic.
+	compactMu sync.Mutex
+	idx       *core.Index
+	seed      int64 // this shard's hash seed (base seed + shard offset)
+
+	// globals maps local id → global id in append order. localOf is the
+	// reverse map, materialized lazily: while it is nil the mapping is the
+	// pure stripe local j ↔ global j·S+offset and lookups are arithmetic.
+	// The first out-of-order insert or compaction materializes the map.
+	globals []int
+	localOf map[int]int
+	offset  int // this shard's index in the set
+
+	compacting     atomic.Bool // single-flight guard for auto-compaction
+	compactions    int
+	lastCompaction time.Time
+}
+
+// local returns the local id of global g, or -1 when g is not resident
+// (never routed here, or compacted away). Callers hold st.mu.
+func (st *state) local(g, stride int) int {
+	if st.localOf != nil {
+		if l, ok := st.localOf[g]; ok {
+			return l
+		}
+		return -1
+	}
+	j := (g - st.offset) / stride
+	if j >= 0 && j < len(st.globals) && st.globals[j] == g {
+		return j
+	}
+	return -1
+}
+
+// materialize builds the explicit reverse map. Callers hold st.mu for
+// writing.
+func (st *state) materialize() {
+	if st.localOf != nil {
+		return
+	}
+	st.localOf = make(map[int]int, len(st.globals))
+	for j, g := range st.globals {
+		st.localOf[g] = j
+	}
+}
+
+// shardSeed derives shard i's hash seed from the set's base seed. Shard 0
+// uses the base seed itself, so a single-shard set is bit-identical to an
+// unsharded core build.
+func shardSeed(base int64, i int) int64 { return base + int64(i) }
+
+// Build constructs a set of `shards` shards over n vectors of dimension dim
+// stored row-major in flat, striping rows round-robin: row g goes to shard
+// g mod S. With shards == 1 the flat slice is wrapped without copying
+// (preserving the library's zero-copy contract); with more shards each
+// shard copies its stripe into a contiguous matrix. compactFrac > 0 enables
+// automatic background compaction of a shard once its tombstoned fraction
+// reaches the threshold.
+func Build(flat []float32, n, dim, shards int, compactFrac float64, cfg core.Config) *Set {
+	if shards > n {
+		shards = n // no empty shards at build time
+	}
+	if shards < 1 {
+		shards = 1 // floor last, so n == 0 still yields one (empty) shard
+	}
+	cfg = cfg.Resolved(n)
+	s := &Set{
+		dim:    dim,
+		cfg:    cfg,
+		shards: make([]*state, shards),
+	}
+	s.SetCompactFraction(compactFrac)
+	s.nextID.Store(int64(n))
+
+	if shards == 1 {
+		st := &state{seed: cfg.Seed, offset: 0}
+		st.idx = core.Build(vec.WrapMatrix(flat, n, dim), cfg)
+		st.globals = identityGlobals(n, 0, 1)
+		s.shards[0] = st
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i := 0; i < shards; i++ {
+			rows := (n - i + shards - 1) / shards
+			st := &state{seed: shardSeed(cfg.Seed, i), offset: i}
+			m := vec.NewMatrix(rows, dim)
+			for j := 0; j < rows; j++ {
+				g := j*shards + i
+				m.SetRow(j, flat[g*dim:(g+1)*dim])
+			}
+			st.globals = identityGlobals(rows, i, shards)
+			s.shards[i] = st
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(st *state, m *vec.Matrix) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				c := s.cfg
+				c.Seed = st.seed
+				c.InitialRadius = 0 // estimated per shard from its own stripe
+				st.idx = core.Build(m, c)
+			}(st, m)
+		}
+		wg.Wait()
+	}
+	s.pool.New = func() interface{} { return s.NewSearcher() }
+	return s
+}
+
+func identityGlobals(rows, offset, stride int) []int {
+	g := make([]int, rows)
+	for j := range g {
+		g[j] = j*stride + offset
+	}
+	return g
+}
+
+// Part is one shard's serialized state, used to restore a persisted set.
+type Part struct {
+	Flat    []float32 // rows·dim vector payload, local-id order
+	Rows    int
+	Globals []int  // local id → global id
+	Deleted []bool // tombstones by local id; may be nil or short
+	R0      float64
+}
+
+// Restore rebuilds a set from persisted per-shard parts. cfg carries the
+// stored structural parameters and base seed; nextID is the persisted
+// global-id-space bound (ids ≥ nextID have never been allocated).
+func Restore(dim int, nextID int, compactFrac float64, cfg core.Config, parts []Part) *Set {
+	total := 0
+	for _, p := range parts {
+		total += p.Rows
+	}
+	cfg = cfg.Resolved(total)
+	s := &Set{
+		dim:    dim,
+		cfg:    cfg,
+		shards: make([]*state, len(parts)),
+	}
+	s.SetCompactFraction(compactFrac)
+	s.nextID.Store(int64(nextID))
+	stride := len(parts)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, p := range parts {
+		st := &state{seed: shardSeed(cfg.Seed, i), offset: i}
+		st.globals = append([]int(nil), p.Globals...)
+		for j, g := range st.globals {
+			if g != j*stride+i {
+				st.materialize() // stripe pattern broken pre-persist
+				break
+			}
+		}
+		s.shards[i] = st
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(st *state, p Part) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c := s.cfg
+			c.Seed = st.seed
+			c.InitialRadius = p.R0
+			st.idx = core.Build(vec.WrapMatrix(p.Flat, p.Rows, dim), c)
+			for local, dead := range p.Deleted {
+				if dead && local < p.Rows {
+					st.idx.Delete(local)
+				}
+			}
+		}(st, p)
+	}
+	wg.Wait()
+	s.pool.New = func() interface{} { return s.NewSearcher() }
+	return s
+}
+
+// Shards returns the number of shards.
+func (s *Set) Shards() int { return len(s.shards) }
+
+// Dim returns the vector dimensionality.
+func (s *Set) Dim() int { return s.dim }
+
+// Params returns the resolved build configuration (base seed).
+func (s *Set) Params() core.Config { return s.cfg }
+
+// NextID returns the global-id-space bound: every id ever returned by Add
+// (and every build-time id) is below it.
+func (s *Set) NextID() int { return int(s.nextID.Load()) }
+
+// Len returns the number of resident vectors (live + tombstoned) across all
+// shards. It equals NextID until a compaction reclaims tombstones.
+func (s *Set) Len() int {
+	n := 0
+	for _, st := range s.shards {
+		st.mu.RLock()
+		n += st.idx.Size()
+		st.mu.RUnlock()
+	}
+	return n
+}
+
+// Deleted returns the number of tombstoned vectors across all shards.
+func (s *Set) Deleted() int {
+	n := 0
+	for _, st := range s.shards {
+		st.mu.RLock()
+		n += st.idx.Deleted()
+		st.mu.RUnlock()
+	}
+	return n
+}
+
+// IndexSizeBytes sums the per-shard projection and tree footprints.
+func (s *Set) IndexSizeBytes() int64 {
+	var b int64
+	for _, st := range s.shards {
+		st.mu.RLock()
+		b += st.idx.IndexSizeBytes()
+		st.mu.RUnlock()
+	}
+	return b
+}
+
+// Add inserts a vector and returns its global id. Only the owning shard is
+// write-locked; searches on the other shards proceed untouched.
+func (s *Set) Add(v []float32) int {
+	if len(v) != s.dim {
+		panic(fmt.Sprintf("shard: insert dim %d, index dim %d", len(v), s.dim))
+	}
+	g := int(s.nextID.Add(1)) - 1
+	stride := len(s.shards)
+	st := s.shards[g%stride]
+	st.mu.Lock()
+	if st.localOf == nil && g != len(st.globals)*stride+st.offset {
+		// A concurrent Add with a later id won the lock first: the stripe
+		// pattern is broken for good, switch to the explicit map.
+		st.materialize()
+	}
+	local := st.idx.Insert(v)
+	st.globals = append(st.globals, g)
+	if st.localOf != nil {
+		st.localOf[g] = local
+	}
+	st.mu.Unlock()
+	return g
+}
+
+// Delete tombstones global id g, returning false when g was never
+// allocated, is already tombstoned, or was reclaimed by a compaction. Only
+// the owning shard is write-locked. When the set was built with a
+// compaction threshold, crossing it schedules a background compaction of
+// the affected shard.
+func (s *Set) Delete(g int) bool {
+	if g < 0 || g >= int(s.nextID.Load()) {
+		return false
+	}
+	st := s.shards[g%len(s.shards)]
+	st.mu.Lock()
+	l := st.local(g, len(s.shards))
+	deleted := l >= 0 && st.idx.Delete(l)
+	var size, dead int
+	if deleted {
+		size, dead = st.idx.Size(), st.idx.Deleted()
+	}
+	st.mu.Unlock()
+	if deleted {
+		s.maybeAutoCompact(st, size, dead)
+	}
+	return deleted
+}
+
+func (s *Set) maybeAutoCompact(st *state, size, dead int) {
+	frac := s.CompactFraction()
+	if frac <= 0 || size < autoCompactMinRows {
+		return
+	}
+	if float64(dead) < frac*float64(size) {
+		return
+	}
+	if !st.compacting.CompareAndSwap(false, true) {
+		return // one compaction of this shard at a time
+	}
+	go func() {
+		defer st.compacting.Store(false)
+		s.compactState(st)
+	}()
+}
+
+// CompactShard rebuilds shard i from its live rows, dropping all tombstones
+// while every shard — including i itself — keeps serving. Global ids are
+// preserved. It returns the number of tombstones reclaimed (0 when the
+// shard was clean).
+//
+// The rebuild is online: the shard is snapshotted under a read lock
+// (searches unaffected, mutations to this shard wait only for the row
+// copy), the replacement index is built with no locks held, and the write
+// lock is taken just long enough to replay the mutations that raced the
+// build and swap the index in.
+func (s *Set) CompactShard(i int) int {
+	return s.compactState(s.shards[i])
+}
+
+func (s *Set) compactState(st *state) int {
+	st.compactMu.Lock()
+	defer st.compactMu.Unlock()
+
+	// Snapshot the live rows under the read lock.
+	st.mu.RLock()
+	old := st.idx
+	if old.Deleted() == 0 {
+		st.mu.RUnlock()
+		return 0
+	}
+	live, oldLocals := old.LiveRows()
+	snapGlobals := make([]int, len(oldLocals))
+	for j, ol := range oldLocals {
+		snapGlobals[j] = st.globals[ol]
+	}
+	snapSize := old.Size()
+	st.mu.RUnlock()
+
+	// Rebuild with no locks held; the shard serves reads and writes
+	// throughout. compactMu keeps concurrent compactions of this shard
+	// from racing each other, so old == st.idx still holds at swap time.
+	c := s.cfg
+	c.Seed = st.seed
+	c.InitialRadius = 0 // re-estimate from the compacted content
+	fresh := core.Build(live, c)
+
+	// Swap under the write lock, replaying whatever raced the build: rows
+	// appended after the snapshot, and tombstones laid on snapshot rows.
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for j, ol := range oldLocals {
+		if old.IsDeleted(ol) {
+			fresh.Delete(j)
+		}
+	}
+	newGlobals := snapGlobals
+	for local := snapSize; local < old.Size(); local++ {
+		nl := fresh.Insert(old.Data().Row(local))
+		newGlobals = append(newGlobals, st.globals[local])
+		if old.IsDeleted(local) {
+			fresh.Delete(nl)
+		}
+	}
+	reclaimed := old.Size() - fresh.Size()
+	st.idx = fresh
+	st.globals = newGlobals
+	st.localOf = nil
+	st.materialize()
+	st.compactions++
+	st.lastCompaction = time.Now()
+	return reclaimed
+}
+
+// Compact compacts every shard in turn and returns the total number of
+// tombstones reclaimed. At most one shard is rebuilding at any moment, and
+// even that shard keeps serving (see CompactShard).
+func (s *Set) Compact() int {
+	total := 0
+	for _, st := range s.shards {
+		total += s.compactState(st)
+	}
+	return total
+}
+
+// Info describes one shard's current state.
+type Info struct {
+	Shard          int
+	Size           int // resident vectors (live + tombstoned)
+	Live           int
+	Deleted        int
+	Compactions    int
+	LastCompaction time.Time // zero until the first compaction
+	IndexSizeBytes int64
+}
+
+// Infos reports per-shard statistics.
+func (s *Set) Infos() []Info {
+	out := make([]Info, len(s.shards))
+	for i, st := range s.shards {
+		st.mu.RLock()
+		out[i] = Info{
+			Shard:          i,
+			Size:           st.idx.Size(),
+			Live:           st.idx.Live(),
+			Deleted:        st.idx.Deleted(),
+			Compactions:    st.compactions,
+			LastCompaction: st.lastCompaction,
+			IndexSizeBytes: st.idx.IndexSizeBytes(),
+		}
+		st.mu.RUnlock()
+	}
+	return out
+}
+
+// SnapshotShard copies shard i's resident rows whose global id is below
+// maxID into a self-contained Part. Persistence streams a snapshot one
+// shard at a time — each copy holds only that shard's read lock, briefly,
+// so serializing a large index never stalls traffic index-wide. Capturing
+// maxID (NextID) before the first copy makes the resulting file a
+// consistent cut of the id space: an Add racing the snapshot either has an
+// id ≥ maxID and is filtered out everywhere, or is simply not yet resident
+// and absent, which reads back as a benign id-space hole.
+func (s *Set) SnapshotShard(i int, maxID int) Part {
+	st := s.shards[i]
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	data := st.idx.Data()
+	bits := st.idx.DeletedBits()
+	rows := 0
+	for _, g := range st.globals {
+		if g < maxID {
+			rows++
+		}
+	}
+	p := Part{
+		Rows:    rows,
+		R0:      st.idx.InitialRadius(),
+		Flat:    make([]float32, 0, rows*s.dim),
+		Globals: make([]int, 0, rows),
+	}
+	for j, g := range st.globals {
+		if g >= maxID {
+			continue
+		}
+		p.Flat = append(p.Flat, data.Row(j)...)
+		p.Globals = append(p.Globals, g)
+		if j < len(bits) && bits[j] {
+			if p.Deleted == nil {
+				p.Deleted = make([]bool, rows)
+			}
+			p.Deleted[len(p.Globals)-1] = true
+		}
+	}
+	return p
+}
+
+// checkQuery enforces the library's panic contract for programmer errors.
+func (s *Set) checkQuery(q []float32, k int) {
+	if len(q) != s.dim {
+		panic(fmt.Sprintf("shard: query dim %d, index dim %d", len(q), s.dim))
+	}
+	if k <= 0 {
+		panic("shard: k must be positive")
+	}
+}
+
+// withLocalFilter rewrites a global-id filter into the shard's local ids.
+func withLocalFilter(p core.QueryParams, globals []int) core.QueryParams {
+	if p.Filter == nil {
+		return p
+	}
+	keep := p.Filter
+	q := p
+	q.Filter = func(local int) bool { return keep(globals[local]) }
+	return q
+}
+
+// mapNeighbors translates local-id results to global ids into a new slice.
+func mapNeighbors(nbs []vec.Neighbor, globals []int) []vec.Neighbor {
+	out := make([]vec.Neighbor, len(nbs))
+	for i, nb := range nbs {
+		out[i] = vec.Neighbor{ID: globals[nb.ID], Dist: nb.Dist}
+	}
+	return out
+}
+
+// Searcher is a reusable query context holding one core searcher per shard.
+// It must be used from one goroutine at a time. On a multi-shard set a
+// query runs the radius ladder round-synchronized: every shard executes the
+// same round r, cr, c²r, … under its own read lock, the per-round
+// candidates merge into one global top-k, and the budget (2tL+k) and the
+// termination test apply to that merged state — the paper's work profile,
+// partitioned, instead of S independent full-cost ladders.
+type Searcher struct {
+	set  *Set
+	per  []*core.Searcher
+	seen []*core.Index // which core index each searcher is bound to
+	last core.Stats
+
+	// Per-query coordinator state, reused across queries.
+	began []bool       // shard i's searcher saw Begin for this query
+	seenG map[int]bool // global-id dedup across a mid-query index swap
+}
+
+// NewSearcher returns a searcher bound to the set. Per-shard core searchers
+// are created lazily and transparently replaced when a compaction swaps a
+// shard's underlying index. An idle searcher (e.g. parked in a pool) keeps
+// the index it last touched reachable until its next use or until the pool
+// is dropped by GC — a deliberate trade: releasing eagerly would need weak
+// references threaded through the core searcher, and the retention is
+// bounded by two GC cycles for pooled searchers.
+func (s *Set) NewSearcher() *Searcher {
+	return &Searcher{
+		set:   s,
+		per:   make([]*core.Searcher, len(s.shards)),
+		seen:  make([]*core.Index, len(s.shards)),
+		began: make([]bool, len(s.shards)),
+	}
+}
+
+// searcherFor returns the core searcher for shard i, rebinding it if a
+// compaction replaced the shard's index. Callers hold the shard's lock.
+func (sr *Searcher) searcherFor(i int) *core.Searcher {
+	st := sr.set.shards[i]
+	if sr.seen[i] != st.idx {
+		sr.per[i] = st.idx.NewSearcher()
+		sr.seen[i] = st.idx
+		sr.began[i] = false // a swapped index needs a fresh Begin
+	}
+	return sr.per[i]
+}
+
+// LastStats reports the most recent query's aggregated statistics:
+// candidates verified across all shards, coordinated rounds run, and the
+// final radius of the shared ladder.
+func (sr *Searcher) LastStats() core.Stats { return sr.last }
+
+// Search answers a (c,k)-ANN query. A non-nil error (context expiry) still
+// comes with the best candidates found before cancellation.
+func (sr *Searcher) Search(q []float32, k int, p core.QueryParams) ([]vec.Neighbor, error) {
+	s := sr.set
+	s.checkQuery(q, k)
+	if len(s.shards) == 1 {
+		// Single shard: the classic one-index ladder, bit-identical to the
+		// unsharded library.
+		st := s.shards[0]
+		st.mu.RLock()
+		cs := sr.searcherFor(0)
+		nbs, err := cs.KANNParams(q, k, withLocalFilter(p, st.globals))
+		sr.last = cs.LastStats()
+		mapped := mapNeighbors(nbs, st.globals)
+		st.mu.RUnlock()
+		return mapped, err
+	}
+	return sr.searchCoordinated(q, k, p)
+}
+
+// searchCoordinated runs Algorithm 2 with the rounds fanned out across
+// shards: one shared radius schedule, one merged top-k, one budget, one
+// termination test. Shard locks are taken per round, so a mutation waits at
+// most one round and a search waits at most one mutation per shard round.
+func (sr *Searcher) searchCoordinated(q []float32, k int, p core.QueryParams) ([]vec.Neighbor, error) {
+	s := sr.set
+	t, stopFactor := p.Resolve(s.cfg)
+	stopC := stopFactor * s.cfg.C
+	budget := 2*t*s.cfg.L + k
+	if p.Budget > 0 {
+		budget = p.Budget // same absolute-override semantics as core
+	}
+	c := s.cfg.C
+
+	sr.last = core.Stats{}
+	for i := range sr.began {
+		sr.began[i] = false
+	}
+	if sr.seenG == nil {
+		sr.seenG = make(map[int]bool)
+	} else {
+		clear(sr.seenG)
+	}
+	if p.Cancelled() {
+		return nil, p.Ctx.Err()
+	}
+
+	// Start the ladder at the smallest per-shard radius estimate: starting
+	// low only costs a few cheap extra rounds (cf. core's estimate).
+	r := math.Inf(1)
+	live, resident := 0, 0
+	for _, st := range s.shards {
+		st.mu.RLock()
+		if r0 := st.idx.InitialRadius(); r0 < r {
+			r = r0
+		}
+		live += st.idx.Live()
+		resident += st.idx.Size()
+		st.mu.RUnlock()
+	}
+	if resident == 0 {
+		return nil, nil
+	}
+
+	cand := vec.NewTopK(k)
+	cnt := 0
+	for {
+		if p.MaxRadius > 0 && r > p.MaxRadius {
+			break
+		}
+		if p.Cancelled() {
+			sr.last.Candidates = cnt
+			return cand.Results(), p.Ctx.Err()
+		}
+		sr.last.Rounds++
+		var done bool
+		cnt, done = sr.runRound(q, r, p, cand, budget, cnt, stopC, false)
+		sr.last.FinalR = r
+		if done {
+			break
+		}
+		if worst, full := cand.Worst(); full && worst <= stopC*r {
+			break
+		}
+		if cnt >= live {
+			break // every live point verified: the result is exact
+		}
+		r *= c
+		if p.MaxRadius > 0 && r > p.MaxRadius {
+			break
+		}
+		if sr.coversAll(r) {
+			// The next window contains every projected point everywhere;
+			// run one final full round and stop.
+			cnt, _ = sr.runRound(q, r, p, cand, budget, cnt, stopC, true)
+			break
+		}
+	}
+	sr.last.Candidates = cnt
+	return cand.Results(), nil
+}
+
+// runRound executes one ladder round (or the final sweep) across the
+// shards in order, verifying candidates straight into the global top-k
+// exactly as a monolithic index spends its budget across its L trees: the
+// budget and (for ladder rounds) the early-termination test are consulted
+// per candidate, so the round stops mid-window the moment either fires and
+// no shard's share of the budget is wasted when the live data is skewed.
+// Visit order is fixed, so results are deterministic; a shard's lock is
+// held only for its slice of the round. (Per-query work is sequential by
+// design — concurrent queries, batches and server requests provide the
+// parallelism.) It returns the updated candidate count and whether the
+// query is finished.
+func (sr *Searcher) runRound(q []float32, r float64, p core.QueryParams, cand *vec.TopK, budget, cnt int, stopC float64, sweep bool) (int, bool) {
+	s := sr.set
+	done := false
+	for i, st := range s.shards {
+		if done {
+			break
+		}
+		st.mu.RLock()
+		cs := sr.searcherFor(i)
+		if !sr.began[i] {
+			cs.Begin(q)
+			sr.began[i] = true
+		}
+		lp := withLocalFilter(p, st.globals)
+		emit := func(id int, dist float64) bool {
+			g := st.globals[id]
+			if sr.seenG[g] {
+				// A compaction swapping this shard mid-query reset its
+				// visited stamps; don't verify the same point twice.
+				return true
+			}
+			sr.seenG[g] = true
+			cand.Push(g, dist)
+			cnt++
+			if cnt >= budget {
+				done = true
+				return false
+			}
+			if worst, full := cand.Worst(); !sweep && full && worst <= stopC*r {
+				done = true
+				return false
+			}
+			return true
+		}
+		if sweep {
+			cs.Sweep(q, lp.Filter, emit)
+		} else {
+			cs.RunRound(q, r, lp.Filter, emit)
+		}
+		st.mu.RUnlock()
+	}
+	return cnt, done
+}
+
+// coversAll reports whether a round at radius r would cover every projected
+// point of every shard.
+func (sr *Searcher) coversAll(r float64) bool {
+	for i, st := range sr.set.shards {
+		st.mu.RLock()
+		cs := sr.searcherFor(i)
+		covered := sr.began[i] && cs.Covers(r)
+		st.mu.RUnlock()
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchRadius answers a single (r,c)-NN round (Algorithm 1), probing the
+// shards in order with one shared candidate budget (2tL+1 in total, not
+// per shard) and returning the first qualifying point — the same "any
+// point within c·r" contract, early exit and worst-case work profile as
+// the single-index primitive.
+func (sr *Searcher) SearchRadius(q []float32, r float64, p core.QueryParams) (vec.Neighbor, bool, error) {
+	s := sr.set
+	s.checkQuery(q, 1)
+	t, _ := p.Resolve(s.cfg)
+	remaining := 2*t*s.cfg.L + 1
+	agg := core.Stats{Rounds: 1, FinalR: r}
+	for i, st := range s.shards {
+		if remaining <= 0 {
+			break
+		}
+		st.mu.RLock()
+		cs := sr.searcherFor(i)
+		lp := withLocalFilter(p, st.globals)
+		lp.Budget = remaining
+		nb, ok, err := cs.RNearParams(q, r, lp)
+		if ok {
+			nb.ID = st.globals[nb.ID]
+		}
+		spent := cs.LastStats().Candidates
+		st.mu.RUnlock()
+		agg.Candidates += spent
+		remaining -= spent
+		if err != nil || ok {
+			sr.last = agg
+			return nb, ok, err
+		}
+	}
+	sr.last = agg
+	return vec.Neighbor{}, false, nil
+}
+
+// Search answers a single (c,k)-ANN query through a pooled searcher.
+func (s *Set) Search(q []float32, k int, p core.QueryParams) ([]vec.Neighbor, core.Stats, error) {
+	sr := s.pool.Get().(*Searcher)
+	defer s.pool.Put(sr)
+	nbs, err := sr.Search(q, k, p)
+	return nbs, sr.last, err
+}
+
+// SearchRadius answers a single (r,c)-NN query through a pooled searcher.
+func (s *Set) SearchRadius(q []float32, r float64, p core.QueryParams) (vec.Neighbor, bool, core.Stats, error) {
+	sr := s.pool.Get().(*Searcher)
+	defer s.pool.Put(sr)
+	nb, ok, err := sr.SearchRadius(q, r, p)
+	return nb, ok, sr.last, err
+}
+
+// SearchBatch answers many queries across GOMAXPROCS workers, each with its
+// own Searcher. results[i] and stats[i] correspond to queries[i]; a query
+// skipped after a context expiry leaves a nil result. The first error
+// encountered is returned alongside the queries already answered.
+func (s *Set) SearchBatch(queries [][]float32, k int, p core.QueryParams) ([][]vec.Neighbor, []core.Stats, error) {
+	out := make([][]vec.Neighbor, len(queries))
+	stats := make([]core.Stats, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		var firstErr error
+		sr := s.pool.Get().(*Searcher)
+		defer s.pool.Put(sr)
+		for i := range queries {
+			nbs, err := sr.Search(queries[i], k, p)
+			if err != nil {
+				firstErr = err
+				break // out[i] stays nil: not answered
+			}
+			out[i] = nbs
+			stats[i] = sr.last
+		}
+		return out, stats, firstErr
+	}
+
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sr := s.NewSearcher()
+			// Keep draining after an error so the feeder never blocks; once
+			// a context is cancelled the remaining queries are near-free.
+			for i := range next {
+				nbs, err := sr.Search(queries[i], k, p)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = nbs
+				stats[i] = sr.last
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out, stats, firstErr
+}

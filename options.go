@@ -11,8 +11,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"dblsh/internal/core"
 	"dblsh/internal/vec"
@@ -110,7 +108,10 @@ func WithContext(ctx context.Context) SearchOption {
 // into the verification loop (the same skip path tombstoned points take),
 // so rejected points consume none of the candidate budget and no exact
 // distance is computed for them. keep must be cheap: it runs once per
-// candidate the window queries surface.
+// candidate the window queries surface. A single query invokes it from one
+// goroutine, but SearchBatchOpts invokes it from its parallel workers, so
+// a predicate shared across a batch (or across concurrent searches) must
+// be safe for concurrent use.
 func WithFilter(keep func(id int) bool) SearchOption {
 	return func(s *searchSettings) {
 		if keep == nil {
@@ -172,7 +173,7 @@ func (idx *Index) SearchOpts(q []float32, k int, opts ...SearchOption) ([]Result
 	if set.batchStats != nil {
 		return nil, errBatchStatsScope
 	}
-	nbs, st, err := idx.inner.KANNParams(q, k, set.p)
+	nbs, st, err := idx.set.Search(q, k, set.p)
 	if set.stats != nil {
 		*set.stats = statsFromCore(st)
 	}
@@ -188,7 +189,7 @@ func (s *Searcher) SearchOpts(q []float32, k int, opts ...SearchOption) ([]Resul
 	if set.batchStats != nil {
 		return nil, errBatchStatsScope
 	}
-	nbs, err := s.inner.KANNParams(q, k, set.p)
+	nbs, err := s.inner.Search(q, k, set.p)
 	if set.stats != nil {
 		*set.stats = statsFromCore(s.inner.LastStats())
 	}
@@ -207,7 +208,7 @@ func (s *Searcher) SearchRadiusOpts(q []float32, r float64, opts ...SearchOption
 	if set.batchStats != nil {
 		return Result{}, false, errBatchStatsScope
 	}
-	nb, ok, err := s.inner.RNearParams(q, r, set.p)
+	nb, ok, err := s.inner.SearchRadius(q, r, set.p)
 	if set.stats != nil {
 		*set.stats = statsFromCore(s.inner.LastStats())
 	}
@@ -218,78 +219,31 @@ func (s *Searcher) SearchRadiusOpts(q []float32, r float64, opts ...SearchOption
 // every query in the batch. Queries run in parallel across GOMAXPROCS
 // workers, each with its own Searcher; results[i] corresponds to queries[i].
 // On context expiry the queries already answered keep their results, the
-// rest are nil, and the context's error is returned. It must not run
-// concurrently with Add or Delete.
+// rest are nil, and the context's error is returned. It is safe to run
+// concurrently with Add and Delete; shard locks are taken per ladder
+// round, so mutations interleave between rounds and a query may observe
+// vectors added while it runs.
 func (idx *Index) SearchBatchOpts(queries [][]float32, k int, opts ...SearchOption) ([][]Result, error) {
 	set, err := applySearchOptions(opts)
 	if err != nil {
 		return nil, err
 	}
+	nbs, coreStats, firstErr := idx.set.SearchBatch(queries, k, set.p)
 	out := make([][]Result, len(queries))
+	for i, n := range nbs {
+		if n == nil {
+			continue // not answered: keep the nil marker
+		}
+		out[i] = resultsFromNeighbors(n)
+	}
+
 	var per []Stats
 	if set.batchStats != nil || set.stats != nil {
 		per = make([]Stats, len(queries))
+		for i, st := range coreStats {
+			per[i] = statsFromCore(st)
+		}
 	}
-	var firstErr error
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	if workers <= 1 {
-		// Single-query batches ride the index's pooled searcher so a hot
-		// serving path doesn't allocate corpus-sized scratch per request.
-		for i := range queries {
-			nbs, st, err := idx.inner.KANNParams(queries[i], k, set.p)
-			if err != nil {
-				firstErr = err
-				break // out[i] stays nil: not answered
-			}
-			out[i] = resultsFromNeighbors(nbs)
-			if per != nil {
-				per[i] = statsFromCore(st)
-			}
-		}
-	} else {
-		runOne := func(s *core.Searcher, i int) error {
-			nbs, err := s.KANNParams(queries[i], k, set.p)
-			if err != nil {
-				return err // out[i] stays nil: not answered
-			}
-			out[i] = resultsFromNeighbors(nbs)
-			if per != nil {
-				per[i] = statsFromCore(s.LastStats())
-			}
-			return nil
-		}
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				s := idx.inner.NewSearcher()
-				// Keep draining after an error so the feeder never blocks;
-				// once the context is cancelled the remaining queries return
-				// immediately anyway.
-				for i := range next {
-					if err := runOne(s, i); err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-					}
-				}
-			}()
-		}
-		for i := range queries {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
-
 	if set.batchStats != nil {
 		*set.batchStats = per
 	}

@@ -9,7 +9,7 @@ import (
 	"math"
 
 	"dblsh/internal/core"
-	"dblsh/internal/vec"
+	"dblsh/internal/shard"
 )
 
 // Index persistence.
@@ -18,33 +18,56 @@ import (
 // family is sampled from the seed and the R*-trees are bulk-loaded
 // deterministically. The on-disk format therefore stores the vectors and the
 // configuration and rebuilds the structures on load — the file stays compact
-// (4 bytes per coordinate plus a fixed header) and loading costs one STR
-// bulk load, which is the fastest construction path anyway (Table IV's
-// indexing-time column).
+// (4 bytes per coordinate plus per-row bookkeeping) and loading costs one
+// STR bulk load per shard, which is the fastest construction path anyway
+// (Table IV's indexing-time column).
 //
-// Layout (little-endian), followed by a CRC-32 (IEEE) of everything before
-// it:
+// Version 2 records the shard layout and the mutable state v1 lost: the
+// global-id mapping of every resident row and the tombstone bitmap, so
+// Delete survives a WriteTo/Read round-trip and a sharded index reloads
+// with its exact shard assignment.
 //
-//	magic   [8]byte  "DBLSHv1\n"
-//	n       uint64
+// v2 layout (little-endian), followed by a CRC-32 (IEEE) of everything
+// before it:
+//
+//	magic   [8]byte  "DBLSHv2\n"
+//	shards  uint32
+//	nextID  uint64   global-id-space bound (ids ≥ nextID never allocated)
 //	dim     uint32
 //	K, L, T uint32
 //	C, W0   float64
-//	r0      float64
-//	seed    int64
-//	data    n·dim × float32
+//	seed    int64    base seed (shard i hashes with seed+i)
+//	then per shard:
+//	  rows    uint64
+//	  r0      float64
+//	  globals rows × uint64   local id → global id
+//	  deleted ⌈rows/8⌉ bytes  tombstone bitmap, LSB-first
+//	  data    rows·dim × float32
 //	crc     uint32
+//
+// v1 files ("DBLSHv1\n": n, dim, K, L, T, C, W0, r0, seed, data, crc) are
+// still readable; they load as a clean single-shard index, exactly as they
+// were written.
 
-var magic = [8]byte{'D', 'B', 'L', 'S', 'H', 'v', '1', '\n'}
+var (
+	magicV1 = [8]byte{'D', 'B', 'L', 'S', 'H', 'v', '1', '\n'}
+	magicV2 = [8]byte{'D', 'B', 'L', 'S', 'H', 'v', '2', '\n'}
+)
 
+// crcWriter checksums and counts every byte on its way to w, so WriteTo can
+// report the true number of bytes written instead of re-deriving the layout
+// arithmetic.
 type crcWriter struct {
 	w   io.Writer
 	crc uint32
+	n   int64
 }
 
 func (c *crcWriter) Write(p []byte) (int, error) {
 	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
-	return c.w.Write(p)
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 type crcReader struct {
@@ -58,53 +81,87 @@ func (c *crcReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// WriteTo serializes the index. It implements io.WriterTo.
+// WriteTo serializes the index in the v2 format, including tombstones and
+// the shard layout. It implements io.WriterTo and is safe to call while the
+// index serves concurrent traffic: the id space is pinned once up front and
+// each shard is then copied under its own read lock, briefly, before being
+// serialized with no locks held — searches and mutations proceed
+// throughout, and the file is a consistent cut of the id space at entry
+// (rows added after the call starts are excluded; tombstones laid while it
+// runs are included best-effort).
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	cw := &crcWriter{w: bw}
+	cfg := idx.set.Params()
+	nextID := idx.set.NextID()
 
-	cfg := idx.inner.Params()
-	data := idx.inner.Data()
-	if _, err := cw.Write(magic[:]); err != nil {
-		return 0, fmt.Errorf("dblsh: write header: %w", err)
+	if _, err := cw.Write(magicV2[:]); err != nil {
+		return cw.n, fmt.Errorf("dblsh: write header: %w", err)
 	}
 	hdr := []interface{}{
-		uint64(data.Rows()),
-		uint32(data.Dim()),
+		uint32(idx.set.Shards()),
+		uint64(nextID),
+		uint32(idx.dim),
 		uint32(cfg.K), uint32(cfg.L), uint32(cfg.T),
 		cfg.C, cfg.W0,
-		idx.inner.InitialRadius(),
 		cfg.Seed,
 	}
 	for _, v := range hdr {
 		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
-			return 0, fmt.Errorf("dblsh: write header: %w", err)
+			return cw.n, fmt.Errorf("dblsh: write header: %w", err)
 		}
 	}
-	// Vectors row by row through a reused buffer: no n·dim temporary.
-	buf := make([]byte, data.Dim()*4)
-	for i := 0; i < data.Rows(); i++ {
-		row := data.Row(i)
-		for j, f := range row {
-			binary.LittleEndian.PutUint32(buf[j*4:], math.Float32bits(f))
+	rowBuf := make([]byte, idx.dim*4)
+	for s := 0; s < idx.set.Shards(); s++ {
+		// One shard resident at a time: the copy holds only this shard's
+		// read lock, and the disk writes below hold no lock at all.
+		part := idx.set.SnapshotShard(s, nextID)
+		if err := binary.Write(cw, binary.LittleEndian, uint64(part.Rows)); err != nil {
+			return cw.n, fmt.Errorf("dblsh: write shard header: %w", err)
 		}
-		if _, err := cw.Write(buf); err != nil {
-			return 0, fmt.Errorf("dblsh: write vectors: %w", err)
+		if err := binary.Write(cw, binary.LittleEndian, part.R0); err != nil {
+			return cw.n, fmt.Errorf("dblsh: write shard header: %w", err)
+		}
+		var idBuf [8]byte
+		for _, g := range part.Globals {
+			binary.LittleEndian.PutUint64(idBuf[:], uint64(g))
+			if _, err := cw.Write(idBuf[:]); err != nil {
+				return cw.n, fmt.Errorf("dblsh: write id map: %w", err)
+			}
+		}
+		bitmap := make([]byte, (part.Rows+7)/8)
+		for i, dead := range part.Deleted {
+			if dead && i < part.Rows {
+				bitmap[i/8] |= 1 << (i % 8)
+			}
+		}
+		if _, err := cw.Write(bitmap); err != nil {
+			return cw.n, fmt.Errorf("dblsh: write tombstones: %w", err)
+		}
+		// Vectors row by row through a reused buffer.
+		for i := 0; i < part.Rows; i++ {
+			row := part.Flat[i*idx.dim : (i+1)*idx.dim]
+			for j, f := range row {
+				binary.LittleEndian.PutUint32(rowBuf[j*4:], math.Float32bits(f))
+			}
+			if _, err := cw.Write(rowBuf); err != nil {
+				return cw.n, fmt.Errorf("dblsh: write vectors: %w", err)
+			}
 		}
 	}
 	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
-		return 0, fmt.Errorf("dblsh: write checksum: %w", err)
+		return cw.n, fmt.Errorf("dblsh: write checksum: %w", err)
 	}
 	if err := bw.Flush(); err != nil {
-		return 0, fmt.Errorf("dblsh: flush: %w", err)
+		return cw.n, fmt.Errorf("dblsh: flush: %w", err)
 	}
-	total := int64(8) + 8 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 8 +
-		int64(data.Rows())*int64(data.Dim())*4 + 4
-	return total, nil
+	return cw.n + 4, nil // + the CRC trailer, written past the checksummer
 }
 
 // Read deserializes an index previously written with WriteTo, rebuilding the
-// projections and trees deterministically from the stored seed.
+// projections and trees deterministically from the stored seed. It accepts
+// both the current v2 format (shard layout and tombstones restored) and
+// legacy v1 files (single shard, no tombstones).
 func Read(r io.Reader) (*Index, error) {
 	cr := &crcReader{r: bufio.NewReaderSize(r, 1<<20)}
 
@@ -112,26 +169,33 @@ func Read(r io.Reader) (*Index, error) {
 	if _, err := io.ReadFull(cr, gotMagic[:]); err != nil {
 		return nil, fmt.Errorf("dblsh: read header: %w", err)
 	}
-	if gotMagic != magic {
-		return nil, fmt.Errorf("dblsh: bad magic %q (not a DB-LSH index file?)", gotMagic)
+	switch gotMagic {
+	case magicV1:
+		return readV1(cr)
+	case magicV2:
+		return readV2(cr)
 	}
-	var (
-		n       uint64
-		dim     uint32
-		k, l, t uint32
-		c, w0   float64
-		r0      float64
-		seed    int64
-	)
-	for _, v := range []interface{}{&n, &dim, &k, &l, &t, &c, &w0, &r0, &seed} {
+	return nil, fmt.Errorf("dblsh: bad magic %q (not a DB-LSH index file?)", gotMagic)
+}
+
+const (
+	maxVectors = 1 << 40
+	maxDim     = 1 << 20
+	maxShards  = 1 << 16
+)
+
+// readHeader reads a sequence of fixed-size little-endian values.
+func readHeader(cr *crcReader, vs ...interface{}) error {
+	for _, v := range vs {
 		if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
-			return nil, fmt.Errorf("dblsh: read header: %w", err)
+			return fmt.Errorf("dblsh: read header: %w", err)
 		}
 	}
-	const maxVectors = 1 << 40
-	if n == 0 || dim == 0 || n > maxVectors || uint64(dim) > 1<<20 {
-		return nil, fmt.Errorf("dblsh: implausible shape %d×%d", n, dim)
-	}
+	return nil
+}
+
+// readRows reads n rows of dim float32s into a fresh flat slice.
+func readRows(cr *crcReader, n uint64, dim uint32) ([]float32, error) {
 	flat := make([]float32, n*uint64(dim))
 	buf := make([]byte, int(dim)*4)
 	for i := uint64(0); i < n; i++ {
@@ -143,19 +207,133 @@ func Read(r io.Reader) (*Index, error) {
 			flat[base+uint64(j)] = math.Float32frombits(binary.LittleEndian.Uint32(buf[j*4:]))
 		}
 	}
+	return flat, nil
+}
+
+// checkCRC verifies the trailing checksum against the bytes read so far.
+func checkCRC(cr *crcReader) error {
 	wantCRC := cr.crc
 	var gotCRC uint32
 	if err := binary.Read(cr.r, binary.LittleEndian, &gotCRC); err != nil {
-		return nil, fmt.Errorf("dblsh: read checksum: %w", err)
+		return fmt.Errorf("dblsh: read checksum: %w", err)
 	}
 	if gotCRC != wantCRC {
-		return nil, fmt.Errorf("dblsh: checksum mismatch (file corrupted): got %08x want %08x", gotCRC, wantCRC)
+		return fmt.Errorf("dblsh: checksum mismatch (file corrupted): got %08x want %08x", gotCRC, wantCRC)
 	}
+	return nil
+}
 
-	m := vec.WrapMatrix(flat, int(n), int(dim))
-	inner := core.Build(m, core.Config{
+func readV1(cr *crcReader) (*Index, error) {
+	var (
+		n       uint64
+		dim     uint32
+		k, l, t uint32
+		c, w0   float64
+		r0      float64
+		seed    int64
+	)
+	if err := readHeader(cr, &n, &dim, &k, &l, &t, &c, &w0, &r0, &seed); err != nil {
+		return nil, err
+	}
+	if n == 0 || dim == 0 || n > maxVectors || dim > maxDim {
+		return nil, fmt.Errorf("dblsh: implausible shape %d×%d", n, dim)
+	}
+	flat, err := readRows(cr, n, dim)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkCRC(cr); err != nil {
+		return nil, err
+	}
+	set := shard.Build(flat, int(n), int(dim), 1, 0, core.Config{
 		C: c, W0: w0, K: int(k), L: int(l), T: int(t),
 		Seed: seed, InitialRadius: r0,
 	})
-	return &Index{inner: inner, dim: int(dim)}, nil
+	return &Index{set: set, dim: int(dim)}, nil
+}
+
+func readV2(cr *crcReader) (*Index, error) {
+	var (
+		shards  uint32
+		nextID  uint64
+		dim     uint32
+		k, l, t uint32
+		c, w0   float64
+		seed    int64
+	)
+	if err := readHeader(cr, &shards, &nextID, &dim, &k, &l, &t, &c, &w0, &seed); err != nil {
+		return nil, err
+	}
+	if shards == 0 || shards > maxShards || dim == 0 || dim > maxDim || nextID > maxVectors {
+		return nil, fmt.Errorf("dblsh: implausible layout: %d shards, %d ids, dim %d", shards, nextID, dim)
+	}
+	parts := make([]shard.Part, shards)
+	var total uint64
+	for i := range parts {
+		var rows uint64
+		var r0 float64
+		if err := readHeader(cr, &rows, &r0); err != nil {
+			return nil, err
+		}
+		total += rows
+		if total > nextID {
+			return nil, fmt.Errorf("dblsh: shard rows exceed the id space (%d > %d)", total, nextID)
+		}
+		globals := make([]int, rows)
+		var idBuf [8]byte
+		seen := make(map[int]struct{}, rows)
+		for j := range globals {
+			if _, err := io.ReadFull(cr, idBuf[:]); err != nil {
+				return nil, fmt.Errorf("dblsh: read id map: %w", err)
+			}
+			g := binary.LittleEndian.Uint64(idBuf[:])
+			if g >= nextID {
+				return nil, fmt.Errorf("dblsh: global id %d outside the id space %d", g, nextID)
+			}
+			// Every id must route to the shard that holds it (g mod S ==
+			// shard; Delete depends on it) and appear once. Routing makes
+			// ids unique across shards, the per-shard set catches the
+			// rest, so a crafted file cannot yield undeletable vectors or
+			// duplicate result ids.
+			if int(g)%int(shards) != i {
+				return nil, fmt.Errorf("dblsh: global id %d does not route to shard %d of %d", g, i, shards)
+			}
+			if _, dup := seen[int(g)]; dup {
+				return nil, fmt.Errorf("dblsh: duplicate global id %d in shard %d", g, i)
+			}
+			seen[int(g)] = struct{}{}
+			globals[j] = int(g)
+		}
+		bitmap := make([]byte, (rows+7)/8)
+		if _, err := io.ReadFull(cr, bitmap); err != nil {
+			return nil, fmt.Errorf("dblsh: read tombstones: %w", err)
+		}
+		deleted := make([]bool, rows)
+		anyDead := false
+		for j := range deleted {
+			if bitmap[j/8]&(1<<(j%8)) != 0 {
+				deleted[j] = true
+				anyDead = true
+			}
+		}
+		if !anyDead {
+			deleted = nil
+		}
+		flat, err := readRows(cr, rows, dim)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = shard.Part{
+			Flat: flat, Rows: int(rows), Globals: globals, Deleted: deleted, R0: r0,
+		}
+	}
+	if err := checkCRC(cr); err != nil {
+		return nil, err
+	}
+	// total == 0 is legitimate: an index whose every vector was deleted and
+	// compacted away still round-trips (its id space and layout survive).
+	set := shard.Restore(int(dim), int(nextID), 0, core.Config{
+		C: c, W0: w0, K: int(k), L: int(l), T: int(t), Seed: seed,
+	}, parts)
+	return &Index{set: set, dim: int(dim)}, nil
 }

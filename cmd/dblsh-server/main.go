@@ -32,6 +32,12 @@
 // /compact rebuilds one shard while the rest serve; /stats reports the
 // per-shard breakdown. -compact-fraction enables automatic background
 // compaction once a shard's tombstoned fraction crosses the threshold.
+//
+// With -metric the demo corpus is indexed under a non-Euclidean metric
+// ("cosine" or "ip"); an -index file carries its own metric. /stats reports
+// the active metric, search responses carry distances in that metric
+// (cosine distance, or negated inner product under ip), and the radius
+// knobs are rejected where the metric leaves them undefined.
 package main
 
 import (
@@ -55,15 +61,20 @@ func main() {
 		seed        = flag.Int64("seed", 1, "demo corpus / hashing seed")
 		shards      = flag.Int("shards", 1, "index shards for the demo corpus (an -index file carries its own layout)")
 		compactFrac = flag.Float64("compact-fraction", 0, "auto-compact a shard when its tombstoned fraction reaches this (0 disables)")
+		metricName  = flag.String("metric", "euclidean", "distance metric for the demo corpus: euclidean, cosine or ip (an -index file carries its own metric)")
 	)
 	flag.Parse()
 
-	idx, err := loadIndex(*indexFile, *demoN, *demoDim, *seed, *shards, *compactFrac)
+	met, err := dblsh.ParseMetric(*metricName)
 	if err != nil {
 		log.Fatalf("dblsh-server: %v", err)
 	}
-	log.Printf("serving %d vectors of dim %d across %d shard(s) on %s",
-		idx.Len(), idx.Dim(), idx.Shards(), *addr)
+	idx, err := loadIndex(*indexFile, *demoN, *demoDim, *seed, *shards, *compactFrac, met)
+	if err != nil {
+		log.Fatalf("dblsh-server: %v", err)
+	}
+	log.Printf("serving %d vectors of dim %d (%s metric) across %d shard(s) on %s",
+		idx.Len(), idx.Dim(), idx.Metric(), idx.Shards(), *addr)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -73,7 +84,7 @@ func main() {
 	log.Fatal(srv.ListenAndServe())
 }
 
-func loadIndex(path string, demoN, demoDim int, seed int64, shards int, compactFrac float64) (*dblsh.Index, error) {
+func loadIndex(path string, demoN, demoDim int, seed int64, shards int, compactFrac float64, met dblsh.Metric) (*dblsh.Index, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -113,6 +124,6 @@ func loadIndex(path string, demoN, demoDim int, seed int64, shards int, compactF
 		}
 	}
 	return dblsh.NewFromFlat(flat, demoN, demoDim, dblsh.Options{
-		Seed: seed, Shards: shards, CompactFraction: compactFrac,
+		Seed: seed, Shards: shards, CompactFraction: compactFrac, Metric: met,
 	})
 }

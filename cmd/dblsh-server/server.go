@@ -81,6 +81,8 @@ type statsResponse struct {
 	Vectors        int              `json:"vectors"`
 	Deleted        int              `json:"deleted"`
 	Dim            int              `json:"dim"`
+	Metric         string           `json:"metric"`
+	NormBound      float64          `json:"norm_bound,omitempty"` // inner-product reduction only
 	K              int              `json:"k"`
 	L              int              `json:"l"`
 	T              int              `json:"t"`
@@ -99,6 +101,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	p := s.idx.Params()
 	resp := statsResponse{
 		Dim:        s.idx.Dim(),
+		Metric:     s.idx.Metric().String(),
+		NormBound:  p.NormBound,
 		K:          p.K,
 		L:          p.L,
 		T:          p.T,

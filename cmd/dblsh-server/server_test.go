@@ -96,6 +96,90 @@ func TestStats(t *testing.T) {
 	if st.Vectors != idx.Len() || st.Dim != 16 || st.L != 3 {
 		t.Fatalf("stats %+v", st)
 	}
+	if st.Metric != "euclidean" || st.NormBound != 0 {
+		t.Fatalf("metric stats %+v", st)
+	}
+}
+
+// TestMetricServer runs the search and stats paths over a cosine index and
+// an inner-product index: /stats reports the metric, /search returns
+// metric-space distances, and the radius knobs reject metrics they are
+// undefined for.
+func TestMetricServer(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := make([][]float32, 600)
+	for i := range data {
+		v := make([]float32, 12)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64() + 0.5)
+		}
+		data[i] = v
+	}
+
+	t.Run("cosine", func(t *testing.T) {
+		idx, err := dblsh.New(data, dblsh.Options{Seed: 9, Metric: dblsh.Cosine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(newServer(idx).handler())
+		t.Cleanup(ts.Close)
+
+		var st statsResponse
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		decode(t, resp, &st)
+		if st.Metric != "cosine" {
+			t.Fatalf("stats metric %q, want cosine", st.Metric)
+		}
+
+		var sr searchResponse
+		resp = postJSON(t, ts.URL+"/search", searchRequest{Vector: data[0], K: 3})
+		decode(t, resp, &sr)
+		if len(sr.Results) != 3 {
+			t.Fatalf("got %d results", len(sr.Results))
+		}
+		// The query is an indexed vector: its own cosine distance is ~0.
+		if sr.Results[0].Dist > 1e-5 {
+			t.Fatalf("self-distance %v, want ~0", sr.Results[0].Dist)
+		}
+	})
+
+	t.Run("ip", func(t *testing.T) {
+		idx, err := dblsh.New(data, dblsh.Options{Seed: 9, Metric: dblsh.InnerProduct})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(newServer(idx).handler())
+		t.Cleanup(ts.Close)
+
+		var st statsResponse
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		decode(t, resp, &st)
+		if st.Metric != "ip" || st.NormBound <= 0 {
+			t.Fatalf("stats %+v, want ip metric with a positive norm bound", st)
+		}
+
+		// max_radius has no meaning under inner product: 400, not a hang.
+		resp = postJSON(t, ts.URL+"/search", searchRequest{
+			Vector: data[0], K: 3,
+			queryOptions: queryOptions{MaxRadius: 1},
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("max_radius under ip: status %d, want 400", resp.StatusCode)
+		}
+		resp.Body.Close()
+
+		resp = postJSON(t, ts.URL+"/search_radius", searchRequest{Vector: data[0], Radius: 1})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("search_radius under ip: status %d, want 400", resp.StatusCode)
+		}
+		resp.Body.Close()
+	})
 }
 
 func TestSearch(t *testing.T) {
@@ -571,7 +655,7 @@ func TestLoadIndexFromFile(t *testing.T) {
 	}
 	f.Close()
 
-	loaded, err := loadIndex(path, 0, 0, 0, 1, 0)
+	loaded, err := loadIndex(path, 0, 0, 0, 1, 0, dblsh.Euclidean)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -581,7 +665,7 @@ func TestLoadIndexFromFile(t *testing.T) {
 }
 
 func TestLoadIndexDemo(t *testing.T) {
-	idx, err := loadIndex("", 500, 8, 3, 4, 0)
+	idx, err := loadIndex("", 500, 8, 3, 4, 0, dblsh.Euclidean)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -594,7 +678,7 @@ func TestLoadIndexDemo(t *testing.T) {
 }
 
 func TestLoadIndexMissingFile(t *testing.T) {
-	if _, err := loadIndex("/nonexistent/path.dblsh", 0, 0, 0, 1, 0); err == nil {
+	if _, err := loadIndex("/nonexistent/path.dblsh", 0, 0, 0, 1, 0, dblsh.Euclidean); err == nil {
 		t.Fatal("missing file must error")
 	}
 }

@@ -47,6 +47,22 @@
 // Search, SearchBatch and SearchRadius are wrappers over the same machinery
 // with no options applied.
 //
+// # Metrics
+//
+// Options.Metric selects the distance the index searches under. The paper's
+// machinery is correct only for Euclidean distance, so non-Euclidean
+// metrics are implemented as reductions to Euclidean search: Cosine
+// unit-normalizes vectors at ingest (for unit vectors L2 order is angular
+// order; Result.Dist is the cosine distance 1−cos θ), and InnerProduct
+// applies the augmented-dimension MIPS reduction (Result.Dist is the
+// negated inner product, so ascending order ranks by descending ⟨q,x⟩):
+//
+//	idx, err := dblsh.New(embeddings, dblsh.Options{Metric: dblsh.Cosine})
+//	hits := idx.Search(queryEmbedding, 10)   // hits[i].Dist = 1 − cos θ
+//
+// The radius ladder itself always runs in the internal L2 space, staying
+// faithful to Algorithm 2; only the boundary speaks the chosen metric.
+//
 // # Concurrency and sharding
 //
 // An Index is safe for fully concurrent use: searches, Add, Delete,
@@ -77,12 +93,16 @@ import (
 	"time"
 
 	"dblsh/internal/core"
+	"dblsh/internal/metric"
 	"dblsh/internal/shard"
 	"dblsh/internal/vec"
 )
 
 // Result is one retrieved neighbor: the index of the point in the data the
-// index was built over, and its Euclidean distance to the query.
+// index was built over, and its distance to the query in the index's
+// metric — Euclidean distance by default, cosine distance under Cosine,
+// and the negated inner product −⟨q,x⟩ under InnerProduct (so ascending
+// order always means "best first").
 type Result struct {
 	ID   int
 	Dist float64
@@ -139,6 +159,20 @@ type Options struct {
 	// threshold schedules a rebuild of that shard from its live vectors.
 	// Must be below 1. 0 disables; reclaim manually with CompactShard.
 	CompactFraction float64
+
+	// Metric selects the distance the index searches under: Euclidean (the
+	// default), Cosine, or InnerProduct. Non-Euclidean metrics transform
+	// vectors at the boundary (which forces a copy of the input data) and
+	// run the paper's machinery unchanged over the transformed space; see
+	// the Metric constants for what Result.Dist means under each.
+	Metric Metric
+
+	// NormBound overrides the inner-product reduction's norm bound M, which
+	// otherwise is fitted as the maximum vector norm of the build dataset.
+	// Every vector ever ingested must satisfy ‖v‖ ≤ M, so set a bound with
+	// headroom when Adds may exceed the build-time maximum. Only valid with
+	// Metric == InnerProduct.
+	NormBound float64
 }
 
 // Index answers approximate nearest neighbor queries. It is safe for fully
@@ -146,7 +180,8 @@ type Options struct {
 // and WriteTo.
 type Index struct {
 	set *shard.Set
-	dim int
+	dim int // user-facing dimensionality; the internal space may be wider
+	met metric.Metric
 }
 
 // New builds an index over data, copying the vectors into an internal
@@ -170,8 +205,10 @@ func New(data [][]float32, opts Options) (*Index, error) {
 }
 
 // NewFromFlat builds an index over n vectors of dimension dim stored
-// row-major in flat. The slice is used directly without copying; the caller
-// must not mutate it while the index is alive. len(flat) must equal n*dim.
+// row-major in flat. Under the default Euclidean metric with one shard the
+// slice is used directly without copying, and the caller must not mutate it
+// while the index is alive; sharded or non-Euclidean indexes copy (and
+// transform) the data into internal layouts. len(flat) must equal n*dim.
 func NewFromFlat(flat []float32, n, dim int, opts Options) (*Index, error) {
 	if n <= 0 || dim <= 0 {
 		return nil, fmt.Errorf("dblsh: invalid shape %d×%d", n, dim)
@@ -194,7 +231,18 @@ func NewFromFlat(flat []float32, n, dim int, opts Options) (*Index, error) {
 	if opts.CompactFraction < 0 || opts.CompactFraction >= 1 {
 		return nil, fmt.Errorf("dblsh: CompactFraction must be in [0,1), got %v", opts.CompactFraction)
 	}
-	set := shard.Build(flat, n, dim, opts.Shards, opts.CompactFraction, core.Config{
+	met, err := buildMetric(opts, flat, n, dim)
+	if err != nil {
+		return nil, err
+	}
+	iflat, idim := flat, dim
+	if met.Kind() != metric.Euclidean {
+		idim = met.InternalDim(dim)
+		if iflat, err = transformFlat(met, flat, n, dim); err != nil {
+			return nil, err
+		}
+	}
+	set := shard.Build(iflat, n, idim, opts.Shards, opts.CompactFraction, core.Config{
 		C:               opts.C,
 		W0:              opts.W0,
 		K:               opts.K,
@@ -202,8 +250,10 @@ func NewFromFlat(flat []float32, n, dim int, opts Options) (*Index, error) {
 		T:               opts.T,
 		Seed:            opts.Seed,
 		EarlyStopFactor: opts.EarlyStopFactor,
+		Metric:          met.Kind(),
+		MetricNormBound: met.NormBound(),
 	})
-	return &Index{set: set, dim: dim}, nil
+	return &Index{set: set, dim: dim, met: met}, nil
 }
 
 // Len returns the number of resident vectors, live plus tombstoned. It
@@ -216,8 +266,13 @@ func (idx *Index) Len() int { return idx.set.Len() }
 // vector is still live.
 func (idx *Index) NextID() int { return idx.set.NextID() }
 
-// Dim returns the vector dimensionality.
+// Dim returns the vector dimensionality callers ingest and query with. (The
+// internal search space is one dimension wider under InnerProduct; callers
+// never see it.)
 func (idx *Index) Dim() int { return idx.dim }
+
+// Metric returns the distance metric the index was built with.
+func (idx *Index) Metric() Metric { return Metric(idx.met.Kind()) }
 
 // Shards returns the number of index shards (1 unless Options.Shards
 // requested more).
@@ -235,11 +290,12 @@ func (idx *Index) Search(q []float32, k int) []Result {
 
 // SearchOne returns the single approximate nearest neighbor of q.
 func (idx *Index) SearchOne(q []float32) (Result, bool) {
-	nbs, _, _ := idx.set.Search(q, 1, core.QueryParams{})
+	var buf []float32
+	nbs, _, _ := idx.set.Search(idx.transformQuery(&buf, q), 1, core.QueryParams{})
 	if len(nbs) == 0 {
 		return Result{}, false
 	}
-	return Result{ID: nbs[0].ID, Dist: nbs[0].Dist}, true
+	return idx.userResults(q, nbs)[0], true
 }
 
 // Searcher is a reusable per-goroutine query context. For query-heavy loops
@@ -247,14 +303,16 @@ func (idx *Index) SearchOne(q []float32) (Result, bool) {
 // statistics. It holds one core searcher per shard; on a sharded index a
 // query coordinates one radius ladder across all of them.
 type Searcher struct {
+	idx   *Index
 	inner *shard.Searcher
+	qbuf  []float32 // reused query-transform scratch for non-Euclidean metrics
 }
 
 // NewSearcher returns a searcher bound to the index. A Searcher must only be
 // used from one goroutine at a time; it remains valid across Add, Delete
 // and compaction.
 func (idx *Index) NewSearcher() *Searcher {
-	return &Searcher{inner: idx.set.NewSearcher()}
+	return &Searcher{idx: idx, inner: idx.set.NewSearcher()}
 }
 
 // Search behaves like Index.Search on the bound index. It is SearchOpts
@@ -285,12 +343,20 @@ type Params struct {
 	C, W0 float64
 	K, L  int
 	T     int
+	// Metric is the distance metric the index searches under.
+	Metric Metric
+	// NormBound is the inner-product reduction's fitted norm bound M; 0
+	// under the other metrics.
+	NormBound float64
 }
 
 // Params returns the parameters the index was built with.
 func (idx *Index) Params() Params {
 	cfg := idx.set.Params()
-	return Params{C: cfg.C, W0: cfg.W0, K: cfg.K, L: cfg.L, T: cfg.T}
+	return Params{
+		C: cfg.C, W0: cfg.W0, K: cfg.K, L: cfg.L, T: cfg.T,
+		Metric: Metric(cfg.Metric), NormBound: cfg.MetricNormBound,
+	}
 }
 
 // IndexSizeBytes estimates the memory held by the projections and trees,
@@ -301,12 +367,20 @@ func (idx *Index) IndexSizeBytes() int64 { return idx.set.IndexSizeBytes() }
 // and never reused. Add is safe to call concurrently with searches and
 // other mutations: it write-locks only the shard the new vector routes to,
 // so on a sharded index the other shards keep answering. Searchers created
-// before an Add remain valid.
+// before an Add remain valid. Under a non-Euclidean metric the vector must
+// satisfy the metric's ingest contract (nonzero under Cosine, ‖v‖ within
+// the norm bound under InnerProduct) or an error is returned.
 func (idx *Index) Add(v []float32) (int, error) {
 	if len(v) != idx.dim {
 		return 0, fmt.Errorf("dblsh: vector dim %d, index dim %d", len(v), idx.dim)
 	}
-	return idx.set.Add(v), nil
+	if idx.met.Kind() == metric.Euclidean {
+		return idx.set.Add(v), nil
+	}
+	if err := idx.met.CheckPoint(v); err != nil {
+		return 0, err
+	}
+	return idx.set.Add(idx.met.TransformPoint(nil, v)), nil
 }
 
 // SearchBatch answers many queries in parallel across GOMAXPROCS workers,
@@ -397,8 +471,14 @@ func (idx *Index) ShardStats() []ShardStat {
 // if some indexed point lies within distance r of q, it returns a point
 // within c·r with constant probability; if no point lies within c·r it
 // returns ok = false. It is the primitive Search's radius ladder is built
-// from, exposed for callers that know their target radius. It is
-// SearchRadiusOpts with no options.
+// from, exposed for callers that know their target radius. The radius is in
+// the index's metric: Euclidean distance, or cosine distance in [0,2].
+//
+// This legacy wrapper has no error return, so on an index where the radius
+// itself is invalid — any radius under InnerProduct, r > 2 under Cosine —
+// it reports ok = false, indistinguishable from "nothing found". Under a
+// non-Euclidean metric prefer SearchRadiusOpts, which surfaces those cases
+// as errors. It is SearchRadiusOpts with no options.
 func (s *Searcher) SearchRadius(q []float32, r float64) (Result, bool) {
 	nb, ok, _ := s.SearchRadiusOpts(q, r)
 	return nb, ok

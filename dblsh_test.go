@@ -85,7 +85,10 @@ func TestSearchBasics(t *testing.T) {
 				t.Fatal("hits not sorted")
 			}
 			prev = h.Dist
-			if got := dist(q, data[h.ID]); math.Abs(got-h.Dist) > 1e-9 {
+			// The kernels difference components in float32 (the data's own
+			// precision), so agreement with the float64 reference is
+			// relative, not exact.
+			if got := dist(q, data[h.ID]); math.Abs(got-h.Dist) > 1e-6*(1+got) {
 				t.Fatalf("distance mismatch: %v vs %v", h.Dist, got)
 			}
 		}

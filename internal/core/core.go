@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"dblsh/internal/lsh"
+	"dblsh/internal/metric"
 	"dblsh/internal/rstar"
 	"dblsh/internal/vec"
 )
@@ -57,6 +58,16 @@ type Config struct {
 	// the "early termination conditions" direction the paper's conclusion
 	// sketches (cf. I-LSH/EI-LSH). 0 or 1 reproduces the paper exactly.
 	EarlyStopFactor float64
+	// Metric records the boundary reduction under which the indexed
+	// vectors were transformed. The core ladder itself always runs pure
+	// Euclidean distance over the (already transformed) internal space —
+	// Algorithm 2 is only correct for L2 — so the field is never consulted
+	// here; it rides along so the shard and persistence layers can
+	// reconstruct the boundary transform.
+	Metric metric.Kind
+	// MetricNormBound is the fitted norm bound M of the inner-product
+	// reduction (0 for the other metrics); plumbing like Metric.
+	MetricNormBound float64
 	// Tree configures the R*-trees.
 	Tree rstar.Options
 }
@@ -376,15 +387,21 @@ func (p QueryParams) cancelled() bool {
 	}
 }
 
-// Searcher holds per-goroutine query scratch state (visited stamps and the
-// query's L hash vectors). Obtain one with NewSearcher; a Searcher must not
-// be used concurrently.
+// Searcher holds per-goroutine query scratch state (visited stamps, the
+// query's L hash vectors, and the candidate block buffers of the batched
+// verification path). Obtain one with NewSearcher; a Searcher must not be
+// used concurrently.
 type Searcher struct {
 	idx     *Index
 	visited []uint32
 	epoch   uint32
 	qhash   [][]float32
 	last    Stats
+
+	// Candidate block scratch: ids gathered from the window queries, and
+	// the distances the batch kernel writes for them.
+	bids   []int
+	bdists []float64
 }
 
 func newSearcher(idx *Index) *Searcher {
@@ -396,8 +413,72 @@ func newSearcher(idx *Index) *Searcher {
 		idx:     idx,
 		visited: make([]uint32, idx.data.Rows()),
 		qhash:   qh,
+		bids:    make([]int, 0, verifyBlockSize),
+		bdists:  make([]float64, verifyBlockSize),
 	}
 }
+
+// verifyBlockSize is the candidate block the verification path gathers
+// before calling the batch distance kernels while the caller's top-k heap
+// is still filling: large enough to amortize the per-block bookkeeping and
+// keep q's cache lines hot across rows. Once the heap is full a stop
+// condition can fire at any flush, and every fresh candidate gathered past
+// the stop is traversal the pre-blocking code never paid (late-round
+// windows are dense with already-visited points, so over-gathering walks
+// far more tree entries than it gathers) — so the gather shrinks to
+// verifyBlockHot, trading a little batching for never over-running a stop
+// by more than a few candidates.
+const (
+	verifyBlockSize = 64
+	verifyBlockHot  = 2
+)
+
+// flushBlock verifies the gathered candidate block with the batched kernels
+// and reports the candidates to emit in gather order. worst, when non-nil,
+// bounds the early-abandon kernel: candidates whose exact distance provably
+// exceeds worst() are reported as +Inf — by construction they cannot enter
+// the top-k heap that worst came from, so results are identical to exact
+// verification. emit returns how many candidates it consumed and whether
+// to stop the traversal (consuming fewer than the block stops regardless,
+// so a stop exactly at the block's last candidate is still exact); the
+// unconsumed candidates get their visited stamps cleared so a later round
+// can rediscover them (stamp 0 never matches a live epoch). Returns false
+// on stop.
+func (s *Searcher) flushBlock(q []float32, worst func() float64, emit emitFunc) bool {
+	if len(s.bids) == 0 {
+		return true
+	}
+	if cap(s.bdists) < len(s.bids) {
+		s.bdists = make([]float64, len(s.bids))
+	}
+	dists := s.bdists[:len(s.bids)]
+	bound := math.Inf(1)
+	if worst != nil {
+		bound = worst()
+	}
+	if math.IsInf(bound, 1) {
+		vec.SquaredDistsTo(q, s.idx.data, s.bids, dists)
+	} else {
+		vec.SquaredDistsToBounded(q, s.idx.data, s.bids, bound*bound, dists)
+	}
+	for j := range dists {
+		dists[j] = math.Sqrt(dists[j])
+	}
+	n, stop := emit(s.bids, dists)
+	stop = stop || n < len(s.bids)
+	for _, id := range s.bids[n:] {
+		s.visited[id] = 0
+	}
+	s.bids = s.bids[:0]
+	return !stop
+}
+
+// emitFunc receives one verified candidate block in gather order: ids[j]'s
+// exact distance is dists[j] (or +Inf when the early-abandon kernel proved
+// it cannot beat the caller's bound). It returns how many candidates it
+// consumed and whether the traversal should stop; consumed < len(ids)
+// implies stop.
+type emitFunc = func(ids []int, dists []float64) (consumed int, stop bool)
 
 // NewSearcher returns a dedicated searcher bound to the index.
 func (idx *Index) NewSearcher() *Searcher { return newSearcher(idx) }
@@ -463,11 +544,12 @@ func (s *Searcher) KANN(q []float32, k int) []vec.Neighbor {
 // KANNParams answers a (c,k)-ANN query (Algorithm 2 with the Section IV-C
 // (c,k) termination rules): radius grows r, cr, c²r, …; at each radius L
 // window queries materialize query-centric buckets of width w0·r; candidates
-// are verified by exact distance until the budget 2tL+k is exhausted or the
-// k-th best candidate is within c·r. The QueryParams override the build-time
-// knobs for this query only; the zero value is KANN. The returned error is
-// non-nil only when p.Ctx expires, and even then the candidates verified
-// before cancellation are returned.
+// are verified by exact distance — in blocks, through the batched kernels
+// with early-abandon pruning against the current k-th best — until the
+// budget 2tL+k is exhausted or the k-th best candidate is within c·r. The
+// QueryParams override the build-time knobs for this query only; the zero
+// value is KANN. The returned error is non-nil only when p.Ctx expires, and
+// even then the candidates verified before cancellation are returned.
 func (s *Searcher) KANNParams(q []float32, k int, p QueryParams) ([]vec.Neighbor, error) {
 	idx := s.idx
 	if len(q) != idx.data.Dim() {
@@ -506,6 +588,33 @@ func (s *Searcher) KANNParams(q []float32, k int, p QueryParams) ([]vec.Neighbor
 	w0 := idx.cfg.W0
 	r := idx.r0
 
+	worst := func() float64 {
+		if w, full := cand.Worst(); full {
+			return w
+		}
+		return math.Inf(1)
+	}
+	done := false
+	// The budget and the termination test apply per candidate in gather
+	// order, exactly as the pre-blocking per-id loop did; a mid-block stop
+	// hands the unconsumed tail back to the traversal (see flushBlock), so
+	// blocking never changes which candidates are verified.
+	emit := func(ids []int, dists []float64) (int, bool) {
+		for j, id := range ids {
+			cand.Push(id, dists[j])
+			cnt++
+			if cnt >= budget {
+				done = true
+				return j + 1, true
+			}
+			if w, full := cand.Worst(); full && w <= stopC*r {
+				done = true
+				return j + 1, true
+			}
+		}
+		return len(ids), false
+	}
+
 	for {
 		if p.MaxRadius > 0 && r > p.MaxRadius {
 			break
@@ -515,39 +624,12 @@ func (s *Searcher) KANNParams(q []float32, k int, p QueryParams) ([]vec.Neighbor
 			return cand.Results(), p.Ctx.Err()
 		}
 		s.last.Rounds++
-		done := false
-		for i := 0; i < idx.cfg.L && !done; i++ {
-			w := rstar.WindowRect(s.qhash[i], w0*r)
-			idx.trees[i].Window(w, func(id int) bool {
-				if s.visited[id] == s.epoch {
-					return true
-				}
-				s.visited[id] = s.epoch
-				if idx.isDeleted(id) {
-					return true
-				}
-				if p.Filter != nil && !p.Filter(id) {
-					return true
-				}
-				dist := vec.Dist(q, idx.data.Row(id))
-				cand.Push(id, dist)
-				cnt++
-				if cnt >= budget {
-					done = true
-					return false
-				}
-				if worst, full := cand.Worst(); full && worst <= stopC*r {
-					done = true
-					return false
-				}
-				return true
-			})
-		}
+		s.runWindows(q, r, p.Filter, worst, emit)
 		s.last.FinalR = r
 		if done {
 			break
 		}
-		if worst, full := cand.Worst(); full && worst <= stopC*r {
+		if w, full := cand.Worst(); full && w <= stopC*r {
 			break
 		}
 		if cnt >= live {
@@ -561,8 +643,19 @@ func (s *Searcher) KANNParams(q []float32, k int, p QueryParams) ([]vec.Neighbor
 		}
 		if s.coversAllTrees(w0 * r) {
 			// The next window contains every projected point in every tree;
-			// run one final full round and stop.
-			s.finalSweep(q, cand, &cnt, budget, p.Filter)
+			// run one final full sweep — bounded by the budget but not the
+			// termination test — and stop.
+			sweepEmit := func(ids []int, dists []float64) (int, bool) {
+				for j, id := range ids {
+					cand.Push(id, dists[j])
+					cnt++
+					if cnt >= budget {
+						return j + 1, true
+					}
+				}
+				return len(ids), false
+			}
+			s.Sweep(q, p.Filter, worst, sweepEmit)
 			break
 		}
 	}
@@ -591,29 +684,6 @@ func (s *Searcher) coversAllTrees(w float64) bool {
 	return true
 }
 
-// finalSweep verifies all remaining unvisited points through the first tree
-// (every point appears in every tree, so one suffices), respecting budget
-// and the query's filter.
-func (s *Searcher) finalSweep(q []float32, cand *vec.TopK, cnt *int, budget int, filter func(int) bool) {
-	idx := s.idx
-	tr := idx.trees[0]
-	tr.Window(tr.Bounds(), func(id int) bool {
-		if s.visited[id] == s.epoch {
-			return true
-		}
-		s.visited[id] = s.epoch
-		if idx.isDeleted(id) {
-			return true
-		}
-		if filter != nil && !filter(id) {
-			return true
-		}
-		cand.Push(id, vec.Dist(q, idx.data.Row(id)))
-		*cnt++
-		return *cnt < budget
-	})
-}
-
 // Round-level query primitives.
 //
 // KANNParams runs the whole radius ladder against one index. A sharded
@@ -623,6 +693,13 @@ func (s *Searcher) finalSweep(q []float32, cand *vec.TopK, cnt *int, budget int,
 // re-runs the full ladder against its sparser stripe and a fanned-out query
 // costs S× the paper's work profile. Begin/RunRound/Covers/Sweep expose one
 // round as the unit of work so the shard layer can be that coordinator.
+//
+// Candidates flow to the caller in verified blocks, not per-id callbacks:
+// the traversal gathers up to verifyBlockSize ids, the batch kernels verify
+// the whole block against the contiguous matrix storage (early-abandoning
+// rows that provably cannot beat the caller's current k-th best), and emit
+// receives the block. emit's consumed-count return keeps the caller's
+// budget exact across the block boundary.
 
 // Begin prepares the searcher for a round-coordinated query: it starts a
 // fresh visited epoch and hashes q into each projected space. Call it once
@@ -650,14 +727,27 @@ func (s *Searcher) ensureStamps() {
 
 // RunRound executes the L window queries of one (r,c)-NN round: every
 // previously-unvisited, live point inside a query-centric bucket of width
-// w0·r that passes filter is reported to emit with its exact distance.
-// emit returns false to abort the round (budget exhausted). The caller owns
-// the candidate heap, the budget and the termination test.
-func (s *Searcher) RunRound(q []float32, r float64, filter func(int) bool, emit func(id int, dist float64) bool) {
-	idx := s.idx
+// w0·r that passes filter is verified in blocks and reported to emit with
+// its exact Euclidean distance — or +Inf for candidates the early-abandon
+// kernel pruned because they provably cannot beat worst() (see flushBlock).
+// worst, when non-nil, should return the caller's current k-th best
+// distance (+Inf while the heap is under capacity). emit (see emitFunc)
+// stops the round mid-block; unconsumed candidates are handed back for
+// later rounds. The caller owns the candidate heap, the budget and the
+// termination test.
+func (s *Searcher) RunRound(q []float32, r float64, filter func(int) bool, worst func() float64, emit emitFunc) {
 	s.ensureStamps()
-	done := false
-	for i := 0; i < idx.cfg.L && !done; i++ {
+	s.runWindows(q, r, filter, worst, emit)
+}
+
+// runWindows is RunRound without the stamp-growth check (KANNParams has
+// already run freshEpoch when it calls this).
+func (s *Searcher) runWindows(q []float32, r float64, filter func(int) bool, worst func() float64, emit emitFunc) {
+	idx := s.idx
+	s.bids = s.bids[:0]
+	aborted := false
+	limit := s.blockLimit(worst)
+	for i := 0; i < idx.cfg.L && !aborted; i++ {
 		w := rstar.WindowRect(s.qhash[i], idx.cfg.W0*r)
 		idx.trees[i].Window(w, func(id int) bool {
 			if s.visited[id] == s.epoch {
@@ -670,13 +760,30 @@ func (s *Searcher) RunRound(q []float32, r float64, filter func(int) bool, emit 
 			if filter != nil && !filter(id) {
 				return true
 			}
-			if !emit(id, vec.Dist(q, idx.data.Row(id))) {
-				done = true
-				return false
+			s.bids = append(s.bids, id)
+			if len(s.bids) >= limit {
+				if !s.flushBlock(q, worst, emit) {
+					aborted = true
+					return false
+				}
+				limit = s.blockLimit(worst)
 			}
 			return true
 		})
 	}
+	if !aborted {
+		s.flushBlock(q, worst, emit)
+	}
+}
+
+// blockLimit picks the gather size for the next block: full-size while the
+// caller's heap is still filling (worst reports +Inf, no stop can fire),
+// small once it is full (see verifyBlockHot).
+func (s *Searcher) blockLimit(worst func() float64) int {
+	if worst != nil && !math.IsInf(worst(), 1) {
+		return verifyBlockHot
+	}
+	return verifyBlockSize
 }
 
 // Covers reports whether the next round at radius r would materialize
@@ -684,14 +791,18 @@ func (s *Searcher) RunRound(q []float32, r float64, filter func(int) bool, emit 
 func (s *Searcher) Covers(r float64) bool { return s.coversAllTrees(s.idx.cfg.W0 * r) }
 
 // Sweep verifies all remaining unvisited live points, for the final
-// full-coverage round. Like RunRound, emit returning false aborts.
-func (s *Searcher) Sweep(q []float32, filter func(int) bool, emit func(id int, dist float64) bool) {
+// full-coverage round, through the first tree (every point appears in every
+// tree, so one suffices). Blocks, worst and emit behave as in RunRound.
+func (s *Searcher) Sweep(q []float32, filter func(int) bool, worst func() float64, emit emitFunc) {
 	idx := s.idx
 	if idx.data.Rows() == 0 {
 		return
 	}
 	s.ensureStamps()
+	s.bids = s.bids[:0]
 	tr := idx.trees[0]
+	aborted := false
+	limit := s.blockLimit(worst)
 	tr.Window(tr.Bounds(), func(id int) bool {
 		if s.visited[id] == s.epoch {
 			return true
@@ -703,8 +814,19 @@ func (s *Searcher) Sweep(q []float32, filter func(int) bool, emit func(id int, d
 		if filter != nil && !filter(id) {
 			return true
 		}
-		return emit(id, vec.Dist(q, idx.data.Row(id)))
+		s.bids = append(s.bids, id)
+		if len(s.bids) >= limit {
+			if !s.flushBlock(q, worst, emit) {
+				aborted = true
+				return false
+			}
+			limit = s.blockLimit(worst)
+		}
+		return true
 	})
+	if !aborted {
+		s.flushBlock(q, worst, emit)
+	}
 }
 
 // RNear answers a single (r,c)-NN query (Algorithm 1): it returns a point

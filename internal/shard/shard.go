@@ -716,9 +716,11 @@ func (sr *Searcher) searchCoordinated(q []float32, k int, p core.QueryParams) ([
 // runRound executes one ladder round (or the final sweep) across the
 // shards in order, verifying candidates straight into the global top-k
 // exactly as a monolithic index spends its budget across its L trees: the
-// budget and (for ladder rounds) the early-termination test are consulted
-// per candidate, so the round stops mid-window the moment either fires and
-// no shard's share of the budget is wasted when the live data is skewed.
+// core hands candidates over in batched-kernel-verified blocks (pruned
+// against the global k-th best via worst), and the budget and (for ladder
+// rounds) the early-termination test are consulted per candidate within
+// each block, so the round stops mid-block the moment either fires and no
+// shard's share of the budget is wasted when the live data is skewed.
 // Visit order is fixed, so results are deterministic; a shard's lock is
 // held only for its slice of the round. (Per-query work is sequential by
 // design — concurrent queries, batches and server requests provide the
@@ -727,6 +729,12 @@ func (sr *Searcher) searchCoordinated(q []float32, k int, p core.QueryParams) ([
 func (sr *Searcher) runRound(q []float32, r float64, p core.QueryParams, cand *vec.TopK, budget, cnt int, stopC float64, sweep bool) (int, bool) {
 	s := sr.set
 	done := false
+	worst := func() float64 {
+		if w, full := cand.Worst(); full {
+			return w
+		}
+		return math.Inf(1)
+	}
 	for i, st := range s.shards {
 		if done {
 			break
@@ -738,30 +746,32 @@ func (sr *Searcher) runRound(q []float32, r float64, p core.QueryParams, cand *v
 			sr.began[i] = true
 		}
 		lp := withLocalFilter(p, st.globals)
-		emit := func(id int, dist float64) bool {
-			g := st.globals[id]
-			if sr.seenG[g] {
-				// A compaction swapping this shard mid-query reset its
-				// visited stamps; don't verify the same point twice.
-				return true
+		emit := func(ids []int, dists []float64) (int, bool) {
+			for j, id := range ids {
+				g := st.globals[id]
+				if sr.seenG[g] {
+					// A compaction swapping this shard mid-query reset its
+					// visited stamps; don't count the same point twice.
+					continue
+				}
+				sr.seenG[g] = true
+				cand.Push(g, dists[j])
+				cnt++
+				if cnt >= budget {
+					done = true
+					return j + 1, true
+				}
+				if w, full := cand.Worst(); !sweep && full && w <= stopC*r {
+					done = true
+					return j + 1, true
+				}
 			}
-			sr.seenG[g] = true
-			cand.Push(g, dist)
-			cnt++
-			if cnt >= budget {
-				done = true
-				return false
-			}
-			if worst, full := cand.Worst(); !sweep && full && worst <= stopC*r {
-				done = true
-				return false
-			}
-			return true
+			return len(ids), false
 		}
 		if sweep {
-			cs.Sweep(q, lp.Filter, emit)
+			cs.Sweep(q, lp.Filter, worst, emit)
 		} else {
-			cs.RunRound(q, r, lp.Filter, emit)
+			cs.RunRound(q, r, lp.Filter, worst, emit)
 		}
 		st.mu.RUnlock()
 	}

@@ -324,19 +324,30 @@ func TestAutoCompaction(t *testing.T) {
 	for g := 0; g < n; g += 4 {
 		s.Delete(g)
 	}
+	// The policy's guarantee is that a background rebuild runs and drives
+	// the shard's tombstoned fraction back below the threshold — not that
+	// it reaches zero: a compaction whose snapshot raced the tail of the
+	// delete loop legitimately replays those tombstones onto the fresh
+	// index, and the leftovers sit below the threshold for good.
 	deadline := time.Now().Add(10 * time.Second)
-	for s.Deleted() != 0 {
+	for {
+		infos := s.Infos()
+		if infos[0].Compactions > 0 && !infos[0].LastCompaction.IsZero() &&
+			float64(infos[0].Deleted) < 0.4*float64(infos[0].Size) {
+			break
+		}
 		if time.Now().After(deadline) {
 			t.Fatalf("auto-compaction never ran; %d tombstones left", s.Deleted())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	infos := s.Infos()
-	if infos[0].Compactions == 0 {
-		t.Fatalf("shard 0 reports no compaction: %+v", infos[0])
-	}
-	if infos[1].Compactions != 0 {
+	if infos := s.Infos(); infos[1].Compactions != 0 {
 		t.Fatalf("untouched shard 1 compacted: %+v", infos[1])
+	}
+	// A manual pass reclaims whatever raced the background rebuild.
+	s.Compact()
+	if got := s.Deleted(); got != 0 {
+		t.Fatalf("tombstones after manual compaction: %d", got)
 	}
 }
 

@@ -1,0 +1,95 @@
+package vec
+
+import "math"
+
+// Blocked batch verification kernels.
+//
+// DB-LSH spends nearly all query time verifying candidates — exact distance
+// computations inside the 2tL+k budget. Verifying candidates one callback at
+// a time keeps the query vector and the loop bookkeeping out of steady
+// state; these kernels take a whole block of candidate row ids and sweep
+// them against the contiguous Matrix storage in one pass, so q stays in
+// cache, the per-candidate call overhead amortizes across the block, and
+// the early-abandon variant can stop a row's scan the moment it provably
+// cannot beat the current k-th best.
+
+// DistsTo computes the Euclidean distance from q to each candidate row of m
+// listed in ids, writing results into out. out must have len(ids) capacity;
+// out[j] corresponds to ids[j]. len(q) must equal m.Dim().
+func DistsTo(q []float32, m *Matrix, ids []int, out []float64) {
+	SquaredDistsTo(q, m, ids, out)
+	for j, s := range out {
+		out[j] = math.Sqrt(s)
+	}
+}
+
+// SquaredDistsTo is DistsTo without the final square root.
+func SquaredDistsTo(q []float32, m *Matrix, ids []int, out []float64) {
+	_ = out[:len(ids)]
+	for j, id := range ids {
+		out[j] = SquaredDist(q, m.Row(id))
+	}
+}
+
+// abandonStride is how many components the bounded kernel accumulates
+// between bound checks: large enough that the check cost is noise, small
+// enough that a hopeless high-dimensional row is dropped after a fraction
+// of its components.
+const abandonStride = 16
+
+// SquaredDistsToBounded is SquaredDistsTo with early-abandon pruning: rows
+// whose partial squared distance already exceeds bound are reported as +Inf
+// instead of being scanned to completion. Squared distances grow
+// monotonically component by component, so a row abandoned at component c
+// is guaranteed to have its true squared distance > bound — callers that
+// only keep candidates strictly under the bound (a top-k heap whose worst
+// is the bound) observe exactly the same result set as with the exact
+// kernel. Rows strictly under the bound are computed exactly; a row within
+// rounding of the bound itself may report either its value or +Inf.
+func SquaredDistsToBounded(q []float32, m *Matrix, ids []int, bound float64, out []float64) {
+	if math.IsInf(bound, 1) {
+		SquaredDistsTo(q, m, ids, out)
+		return
+	}
+	_ = out[:len(ids)]
+	for j, id := range ids {
+		out[j] = squaredDistBounded(q, m.Row(id), bound)
+	}
+}
+
+// squaredDistBounded returns the squared distance between a and b, or +Inf
+// as soon as the running sum exceeds bound.
+func squaredDistBounded(a, b []float32, bound float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	_ = b[len(a)-1]
+	var s float64
+	i := 0
+	for i+abandonStride <= len(a) {
+		var s0, s1, s2, s3 float64
+		for k := i; k < i+abandonStride; k += 4 {
+			d0 := a[k] - b[k]
+			d1 := a[k+1] - b[k+1]
+			d2 := a[k+2] - b[k+2]
+			d3 := a[k+3] - b[k+3]
+			s0 += float64(d0) * float64(d0)
+			s1 += float64(d1) * float64(d1)
+			s2 += float64(d2) * float64(d2)
+			s3 += float64(d3) * float64(d3)
+		}
+		s += (s0 + s1) + (s2 + s3)
+		i += abandonStride
+		if s > bound {
+			return math.Inf(1)
+		}
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += float64(d) * float64(d)
+	}
+	if s > bound {
+		return math.Inf(1)
+	}
+	return s
+}

@@ -1,0 +1,262 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scalarSquaredDist is the straight-line reference implementation the
+// unrolled and blocked kernels are checked against (and benchmarked
+// against): one component per iteration, one accumulator.
+func scalarSquaredDist(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+func scalarDot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+func TestZeroLengthKernels(t *testing.T) {
+	// Regression: the bounds-check hint `_ = b[len(a)-1]` used to index -1
+	// on zero-length input.
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil, nil) = %v, want 0", got)
+	}
+	if got := Dot([]float32{}, []float32{}); got != 0 {
+		t.Fatalf("Dot of empty slices = %v, want 0", got)
+	}
+	if got := SquaredDist(nil, nil); got != 0 {
+		t.Fatalf("SquaredDist(nil, nil) = %v, want 0", got)
+	}
+	if got := Dist(nil, nil); got != 0 {
+		t.Fatalf("Dist(nil, nil) = %v, want 0", got)
+	}
+	Add(nil, nil) // must not panic
+	if got := squaredDistBounded(nil, nil, 1); got != 0 {
+		t.Fatalf("squaredDistBounded(nil) = %v, want 0", got)
+	}
+}
+
+// TestKernelsMatchScalar is the property test for the unrolled and blocked
+// kernels: across dims 1..64 — odd dims, non-multiple-of-4 dims, and dims
+// around the early-abandon stride — every kernel must agree with the scalar
+// reference within 1e-6.
+func TestKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Differences are taken in float32 (the data's own precision), so the
+	// comparison tolerance is relative.
+	close := func(got, want float64) bool {
+		return math.Abs(got-want) <= 1e-6*(1+math.Abs(want))
+	}
+	for dim := 1; dim <= 64; dim++ {
+		const rows = 17 // not a multiple of any block size
+		m := NewMatrix(rows, dim)
+		for i := 0; i < rows; i++ {
+			row := m.Row(i)
+			for j := range row {
+				row[j] = float32(rng.NormFloat64())
+			}
+		}
+		q := make([]float32, dim)
+		for j := range q {
+			q[j] = float32(rng.NormFloat64())
+		}
+		ids := make([]int, rows)
+		want := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			ids[i] = (i * 5) % rows // shuffled gather order
+			want[i] = scalarSquaredDist(q, m.Row(ids[i]))
+		}
+
+		for i, id := range ids {
+			if got := SquaredDist(q, m.Row(id)); !close(got, want[i]) {
+				t.Fatalf("dim %d: SquaredDist = %v, scalar = %v", dim, got, want[i])
+			}
+			wd := scalarDot(q, m.Row(id))
+			if got := Dot(q, m.Row(id)); !close(got, wd) {
+				t.Fatalf("dim %d: Dot = %v, scalar = %v", dim, got, wd)
+			}
+		}
+
+		out := make([]float64, rows)
+		SquaredDistsTo(q, m, ids, out)
+		for i := range out {
+			if !close(out[i], want[i]) {
+				t.Fatalf("dim %d: SquaredDistsTo[%d] = %v, scalar = %v", dim, i, out[i], want[i])
+			}
+		}
+
+		DistsTo(q, m, ids, out)
+		for i := range out {
+			if !close(out[i], math.Sqrt(want[i])) {
+				t.Fatalf("dim %d: DistsTo[%d] = %v, scalar = %v", dim, i, out[i], math.Sqrt(want[i]))
+			}
+		}
+
+		// Bounded kernel: under a median bound, rows at or below it are
+		// exact and rows above it report +Inf.
+		bound := medianOf(want)
+		SquaredDistsToBounded(q, m, ids, bound, out)
+		for i := range out {
+			switch {
+			case math.Abs(want[i]-bound) <= 1e-6*(1+bound):
+				// At the bound itself, accumulation-order rounding may tip
+				// the row either way; both the exact value and +Inf are
+				// correct (top-k callers reject distances ≥ bound anyway).
+			case want[i] <= bound:
+				if !close(out[i], want[i]) {
+					t.Fatalf("dim %d: bounded[%d] = %v, scalar = %v (bound %v)", dim, i, out[i], want[i], bound)
+				}
+			default:
+				if !math.IsInf(out[i], 1) && !close(out[i], want[i]) {
+					t.Fatalf("dim %d: abandoned row reported %v, want +Inf or %v", dim, out[i], want[i])
+				}
+				if out[i] < bound*(1-1e-6) {
+					t.Fatalf("dim %d: bounded[%d] = %v claims to beat bound %v but scalar is %v", dim, i, out[i], bound, want[i])
+				}
+			}
+		}
+
+		// An infinite bound must degenerate to the exact kernel.
+		SquaredDistsToBounded(q, m, ids, math.Inf(1), out)
+		for i := range out {
+			if !close(out[i], want[i]) {
+				t.Fatalf("dim %d: unbounded bounded-kernel[%d] = %v, scalar = %v", dim, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func medianOf(xs []float64) float64 {
+	best, n := 0.0, 0
+	for _, x := range xs {
+		var below int
+		for _, y := range xs {
+			if y < x {
+				below++
+			}
+		}
+		if below == len(xs)/2 {
+			return x
+		}
+		if below > n {
+			best, n = x, below
+		}
+	}
+	return best
+}
+
+// FuzzDistsTo drives the batch kernel with arbitrary shapes and payloads and
+// cross-checks every lane against the scalar reference.
+func FuzzDistsTo(f *testing.F) {
+	f.Add(uint8(4), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add(uint8(1), []byte{0})
+	f.Add(uint8(17), make([]byte, 17*3))
+	f.Fuzz(func(t *testing.T, dimRaw uint8, raw []byte) {
+		dim := int(dimRaw%64) + 1
+		vals := make([]float32, len(raw))
+		for i, b := range raw {
+			vals[i] = float32(int8(b)) / 8
+		}
+		if len(vals) < dim {
+			return
+		}
+		q := vals[:dim]
+		rows := (len(vals) - dim) / dim
+		if rows == 0 {
+			return
+		}
+		m := WrapMatrix(vals[dim:dim+rows*dim], rows, dim)
+		ids := make([]int, rows)
+		for i := range ids {
+			ids[i] = rows - 1 - i
+		}
+		out := make([]float64, rows)
+		DistsTo(q, m, ids, out)
+		bounded := make([]float64, rows)
+		SquaredDistsToBounded(q, m, ids, 1.5, bounded)
+		for i, id := range ids {
+			want := math.Sqrt(scalarSquaredDist(q, m.Row(id)))
+			if math.Abs(out[i]-want) > 1e-5*(1+want) {
+				t.Fatalf("DistsTo[%d] = %v, scalar = %v", i, out[i], want)
+			}
+			sq := scalarSquaredDist(q, m.Row(id))
+			if sq <= 1.5-1e-5 && math.Abs(bounded[i]-sq) > 1e-5*(1+sq) {
+				t.Fatalf("bounded[%d] = %v, scalar = %v", i, bounded[i], sq)
+			}
+			if sq > 1.5+1e-5 && bounded[i] <= 1.5-1e-5 {
+				t.Fatalf("bounded[%d] = %v under bound, scalar %v above it", i, bounded[i], sq)
+			}
+		}
+	})
+}
+
+// BenchmarkDistKernels compares the per-row scalar path (what verification
+// used before the blocked kernels) against the unrolled, blocked, and
+// early-abandon kernels on a realistic verification block: 64 candidates of
+// dim 128 gathered from a 4096-row matrix.
+func BenchmarkDistKernels(b *testing.B) {
+	const (
+		dim   = 128
+		rows  = 4096
+		block = 64
+	)
+	rng := rand.New(rand.NewSource(5))
+	m := NewMatrix(rows, dim)
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64())
+		}
+	}
+	q := make([]float32, dim)
+	for j := range q {
+		q[j] = float32(rng.NormFloat64())
+	}
+	ids := make([]int, block)
+	for i := range ids {
+		ids[i] = rng.Intn(rows)
+	}
+	out := make([]float64, block)
+
+	b.Run("scalar-per-row", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, id := range ids {
+				out[j] = scalarSquaredDist(q, m.Row(id))
+			}
+		}
+	})
+	b.Run("unrolled-per-row", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, id := range ids {
+				out[j] = SquaredDist(q, m.Row(id))
+			}
+		}
+	})
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SquaredDistsTo(q, m, ids, out)
+		}
+	})
+	b.Run("blocked-bounded", func(b *testing.B) {
+		// A tight bound ~ the 10th percentile: most rows abandon early, the
+		// shape of a warmed-up top-k verification.
+		exact := make([]float64, block)
+		SquaredDistsTo(q, m, ids, exact)
+		bound := medianOf(exact) / 2
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			SquaredDistsToBounded(q, m, ids, bound, out)
+		}
+	})
+}

@@ -12,23 +12,58 @@ import (
 	"math"
 )
 
-// Dot returns the inner product of a and b. The slices must have equal length.
+// Dot returns the inner product of a and b. The slices must have equal
+// length; zero-length inputs return 0.
 func Dot(a, b []float32) float64 {
+	if len(a) == 0 {
+		return 0
+	}
 	_ = b[len(a)-1] // bounds-check hint
-	var s float64
-	for i, x := range a {
-		s += float64(x) * float64(b[i])
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		s += float64(a[i]) * float64(b[i])
 	}
 	return s
 }
 
-// SquaredDist returns the squared Euclidean distance between a and b.
+// SquaredDist returns the squared Euclidean distance between a and b. The
+// slices must have equal length; zero-length inputs return 0.
+//
+// The loop is 4×-unrolled into independent accumulators so the four
+// dependency chains retire in parallel — the verification hot path spends
+// nearly all its time here. Component differences are taken in float32 (one
+// conversion per element instead of two; the half-ulp it rounds away is at
+// the input data's own precision), then squared and accumulated in float64
+// so long sums never cancel catastrophically.
 func SquaredDist(a, b []float32) float64 {
-	_ = b[len(a)-1]
-	var s float64
-	for i, x := range a {
-		d := float64(x) - float64(b[i])
-		s += d * d
+	if len(a) == 0 {
+		return 0
+	}
+	_ = b[len(a)-1] // bounds-check hint
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += float64(d0) * float64(d0)
+		s1 += float64(d1) * float64(d1)
+		s2 += float64(d2) * float64(d2)
+		s3 += float64(d3) * float64(d3)
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += float64(d) * float64(d)
 	}
 	return s
 }
@@ -56,6 +91,9 @@ func Scale(a []float32, f float32) {
 
 // Add adds b into a component-wise in place.
 func Add(a, b []float32) {
+	if len(a) == 0 {
+		return
+	}
 	_ = b[len(a)-1]
 	for i := range a {
 		a[i] += b[i]
@@ -93,7 +131,11 @@ func (m *Matrix) Rows() int { return m.n }
 // Dim returns the dimensionality of each row.
 func (m *Matrix) Dim() int { return m.d }
 
-// Row returns row i as a slice aliasing the matrix storage.
+// Row returns row i as a view aliasing the matrix storage: writes through
+// the returned slice are visible in the matrix and vice versa. The view's
+// capacity is clipped to the row, so appending to it cannot clobber the
+// following rows. A later Append to the matrix may reallocate the backing
+// array, after which previously returned rows no longer alias it.
 func (m *Matrix) Row(i int) []float32 {
 	return m.data[i*m.d : (i+1)*m.d : (i+1)*m.d]
 }
@@ -106,7 +148,10 @@ func (m *Matrix) SetRow(i int, p []float32) {
 	copy(m.Row(i), p)
 }
 
-// Data returns the backing slice (row-major).
+// Data returns the backing slice (row-major). It is a view, not a copy:
+// mutations through it are visible in the matrix, and an Append that grows
+// the matrix may move the storage, detaching previously returned slices.
+// Use Clone for an independent copy.
 func (m *Matrix) Data() []float32 { return m.data }
 
 // Append adds a row to the matrix, growing storage as needed, and returns the
@@ -120,17 +165,23 @@ func (m *Matrix) Append(p []float32) int {
 	return m.n - 1
 }
 
-// Clone returns a deep copy of the matrix.
+// Clone returns a deep copy of the matrix. The copy owns fresh storage:
+// no later mutation or Append on either matrix can affect the other.
 func (m *Matrix) Clone() *Matrix {
 	out := &Matrix{data: make([]float32, len(m.data)), n: m.n, d: m.d}
 	copy(out.data, m.data)
 	return out
 }
 
-// Slice returns a view of rows [lo,hi) sharing storage with m.
+// Slice returns a view of rows [lo,hi) sharing storage with m: writes
+// through the view are visible in the parent and vice versa. The view's
+// capacity is clipped at hi, so an Append on the view reallocates instead
+// of silently overwriting the parent's rows beyond it — after such an
+// Append the view no longer aliases the parent. An Append on the parent
+// may likewise move the parent's storage and detach the view.
 func (m *Matrix) Slice(lo, hi int) *Matrix {
 	if lo < 0 || hi < lo || hi > m.n {
 		panic(fmt.Sprintf("vec: slice [%d,%d) out of range n=%d", lo, hi, m.n))
 	}
-	return &Matrix{data: m.data[lo*m.d : hi*m.d], n: hi - lo, d: m.d}
+	return &Matrix{data: m.data[lo*m.d : hi*m.d : hi*m.d], n: hi - lo, d: m.d}
 }

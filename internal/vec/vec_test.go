@@ -62,7 +62,9 @@ func TestDistTriangleInequality(t *testing.T) {
 			c[i] = float32(rng.NormFloat64())
 		}
 		ab, bc, ac := Dist(a, b), Dist(b, c), Dist(a, c)
-		if ac > ab+bc+1e-9 {
+		// Component differences round in float32 (relative ~2⁻²⁴), so a
+		// nearly-collinear triple can overshoot by that relative error.
+		if ac > (ab+bc)*(1+1e-6) {
 			t.Fatalf("triangle inequality violated: %v > %v + %v", ac, ab, bc)
 		}
 	}
@@ -130,6 +132,46 @@ func TestMatrixSlice(t *testing.T) {
 	s.Row(0)[0] = 42
 	if m.Row(1)[0] != 42 {
 		t.Fatal("Slice should alias parent storage")
+	}
+}
+
+// TestMatrixCloneIndependence pins the aliasing contract: a Clone owns its
+// storage, so growth and writes on the parent — including Appends that
+// reuse spare capacity in the parent's backing array — never reach it.
+func TestMatrixCloneIndependence(t *testing.T) {
+	m := NewMatrix(0, 2)
+	for i := 0; i < 8; i++ {
+		m.Append([]float32{float32(i), float32(i)})
+	}
+	c := m.Clone()
+	for i := 0; i < 64; i++ {
+		m.Append([]float32{99, 99})
+		m.Row(0)[0] = 77
+		if c.Rows() != 8 {
+			t.Fatalf("clone grew to %d rows", c.Rows())
+		}
+		if c.Row(0)[0] != 0 || c.Row(7)[0] != 7 {
+			t.Fatalf("Append/write after Clone mutated the clone: %v %v", c.Row(0), c.Row(7))
+		}
+		m.Row(0)[0] = 0
+	}
+}
+
+// TestMatrixSliceAppendDoesNotClobberParent pins the capacity clip on Slice
+// views: appending to a view must reallocate, not overwrite the parent's
+// rows beyond the view.
+func TestMatrixSliceAppendDoesNotClobberParent(t *testing.T) {
+	m := NewMatrix(4, 1)
+	for i := 0; i < 4; i++ {
+		m.SetRow(i, []float32{float32(i)})
+	}
+	v := m.Slice(0, 2)
+	v.Append([]float32{42})
+	if m.Row(2)[0] != 2 {
+		t.Fatalf("Append on a Slice view overwrote the parent: row 2 = %v", m.Row(2))
+	}
+	if v.Rows() != 3 || v.Row(2)[0] != 42 {
+		t.Fatalf("view after Append: rows=%d last=%v", v.Rows(), v.Row(v.Rows()-1))
 	}
 }
 

@@ -13,7 +13,7 @@ import (
 	"fmt"
 
 	"dblsh/internal/core"
-	"dblsh/internal/vec"
+	"dblsh/internal/metric"
 )
 
 // SearchOption customizes a single query without touching the index's
@@ -153,14 +153,6 @@ func statsFromCore(st core.Stats) Stats {
 	return Stats{Candidates: st.Candidates, Rounds: st.Rounds, FinalRadius: st.FinalR}
 }
 
-func resultsFromNeighbors(nbs []vec.Neighbor) []Result {
-	out := make([]Result, len(nbs))
-	for i, nb := range nbs {
-		out[i] = Result{ID: nb.ID, Dist: nb.Dist}
-	}
-	return out
-}
-
 // SearchOpts is Search with per-query options. The error is non-nil when an
 // option is invalid or the query's context expires; a context error still
 // comes with the best results found before cancellation. Like Search, it
@@ -173,11 +165,15 @@ func (idx *Index) SearchOpts(q []float32, k int, opts ...SearchOption) ([]Result
 	if set.batchStats != nil {
 		return nil, errBatchStatsScope
 	}
-	nbs, st, err := idx.set.Search(q, k, set.p)
+	if err := idx.internalMaxRadius(q, &set); err != nil {
+		return nil, err
+	}
+	var buf []float32
+	nbs, st, err := idx.set.Search(idx.transformQuery(&buf, q), k, set.p)
 	if set.stats != nil {
 		*set.stats = statsFromCore(st)
 	}
-	return resultsFromNeighbors(nbs), err
+	return idx.userResults(q, nbs), err
 }
 
 // SearchOpts is Searcher.Search with per-query options; see Index.SearchOpts.
@@ -189,17 +185,22 @@ func (s *Searcher) SearchOpts(q []float32, k int, opts ...SearchOption) ([]Resul
 	if set.batchStats != nil {
 		return nil, errBatchStatsScope
 	}
-	nbs, err := s.inner.Search(q, k, set.p)
+	if err := s.idx.internalMaxRadius(q, &set); err != nil {
+		return nil, err
+	}
+	nbs, err := s.inner.Search(s.idx.transformQuery(&s.qbuf, q), k, set.p)
 	if set.stats != nil {
 		*set.stats = statsFromCore(s.inner.LastStats())
 	}
-	return resultsFromNeighbors(nbs), err
+	return s.idx.userResults(q, nbs), err
 }
 
 // SearchRadiusOpts is SearchRadius with per-query options. Of the knobs,
 // WithCandidateBudget, WithFilter, WithContext and WithStats apply; the
 // ladder-shaping options (WithEarlyStop, WithMaxRadius) are ignored because
-// a fixed-radius query runs a single round.
+// a fixed-radius query runs a single round. The radius is in the index's
+// metric (Euclidean distance, or cosine distance in [0,2]); under
+// InnerProduct a radius has no meaning and an error is returned.
 func (s *Searcher) SearchRadiusOpts(q []float32, r float64, opts ...SearchOption) (Result, bool, error) {
 	set, err := applySearchOptions(opts)
 	if err != nil {
@@ -208,11 +209,19 @@ func (s *Searcher) SearchRadiusOpts(q []float32, r float64, opts ...SearchOption
 	if set.batchStats != nil {
 		return Result{}, false, errBatchStatsScope
 	}
-	nb, ok, err := s.inner.SearchRadius(q, r, set.p)
+	ir, err := s.idx.met.InternalRadius(q, r)
+	if err != nil {
+		return Result{}, false, err
+	}
+	nb, ok, err := s.inner.SearchRadius(s.idx.transformQuery(&s.qbuf, q), ir, set.p)
 	if set.stats != nil {
 		*set.stats = statsFromCore(s.inner.LastStats())
 	}
-	return Result{ID: nb.ID, Dist: nb.Dist}, ok, err
+	res := Result{ID: nb.ID, Dist: nb.Dist}
+	if ok {
+		res.Dist = s.idx.met.DistMapper(q)(nb.Dist)
+	}
+	return res, ok, err
 }
 
 // SearchBatchOpts is SearchBatch with per-query options applied uniformly to
@@ -228,13 +237,23 @@ func (idx *Index) SearchBatchOpts(queries [][]float32, k int, opts ...SearchOpti
 	if err != nil {
 		return nil, err
 	}
-	nbs, coreStats, firstErr := idx.set.SearchBatch(queries, k, set.p)
+	if err := idx.internalMaxRadius(nil, &set); err != nil {
+		return nil, err
+	}
+	internal := queries
+	if idx.met.Kind() != metric.Euclidean {
+		internal = make([][]float32, len(queries))
+		for i, q := range queries {
+			internal[i] = idx.transformQuery(new([]float32), q)
+		}
+	}
+	nbs, coreStats, firstErr := idx.set.SearchBatch(internal, k, set.p)
 	out := make([][]Result, len(queries))
 	for i, n := range nbs {
 		if n == nil {
 			continue // not answered: keep the nil marker
 		}
-		out[i] = resultsFromNeighbors(n)
+		out[i] = idx.userResults(queries[i], n)
 	}
 
 	var per []Stats

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"dblsh/internal/core"
+	"dblsh/internal/metric"
 	"dblsh/internal/shard"
 )
 
@@ -22,18 +23,24 @@ import (
 // STR bulk load per shard, which is the fastest construction path anyway
 // (Table IV's indexing-time column).
 //
-// Version 2 records the shard layout and the mutable state v1 lost: the
-// global-id mapping of every resident row and the tombstone bitmap, so
-// Delete survives a WriteTo/Read round-trip and a sharded index reloads
-// with its exact shard assignment.
+// Version 3 adds the metric subsystem's state to the v2 shard layout: the
+// metric id and the norm bound of the inner-product reduction. The stored
+// vectors are the *internal* (transformed) representation — unit-normalized
+// under Cosine, norm-bound-scaled and augmented by one dimension under
+// InnerProduct — so a load rebuilds the exact search structures without
+// re-deriving any per-point norms; the norm bound is all the state the
+// boundary transform needs to keep accepting Adds and mapping scores after
+// a round-trip.
 //
-// v2 layout (little-endian), followed by a CRC-32 (IEEE) of everything
+// v3 layout (little-endian), followed by a CRC-32 (IEEE) of everything
 // before it:
 //
-//	magic   [8]byte  "DBLSHv2\n"
+//	magic   [8]byte  "DBLSHv3\n"
 //	shards  uint32
 //	nextID  uint64   global-id-space bound (ids ≥ nextID never allocated)
-//	dim     uint32
+//	dim     uint32   internal dimensionality (user dim + 1 under ip)
+//	metric  uint32   0 euclidean, 1 cosine, 2 inner product
+//	bound   float64  inner-product norm bound M; 0 otherwise
 //	K, L, T uint32
 //	C, W0   float64
 //	seed    int64    base seed (shard i hashes with seed+i)
@@ -45,13 +52,15 @@ import (
 //	  data    rows·dim × float32
 //	crc     uint32
 //
-// v1 files ("DBLSHv1\n": n, dim, K, L, T, C, W0, r0, seed, data, crc) are
-// still readable; they load as a clean single-shard index, exactly as they
-// were written.
+// v2 files ("DBLSHv2\n": the same layout without the metric and bound
+// fields) and v1 files ("DBLSHv1\n": n, dim, K, L, T, C, W0, r0, seed,
+// data, crc) are still readable; both predate the metric subsystem, so they
+// load as Euclidean indexes, exactly as they were written.
 
 var (
 	magicV1 = [8]byte{'D', 'B', 'L', 'S', 'H', 'v', '1', '\n'}
 	magicV2 = [8]byte{'D', 'B', 'L', 'S', 'H', 'v', '2', '\n'}
+	magicV3 = [8]byte{'D', 'B', 'L', 'S', 'H', 'v', '3', '\n'}
 )
 
 // crcWriter checksums and counts every byte on its way to w, so WriteTo can
@@ -81,8 +90,8 @@ func (c *crcReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// WriteTo serializes the index in the v2 format, including tombstones and
-// the shard layout. It implements io.WriterTo and is safe to call while the
+// WriteTo serializes the index in the v3 format, including the metric, the
+// tombstones and the shard layout. It implements io.WriterTo and is safe to call while the
 // index serves concurrent traffic: the id space is pinned once up front and
 // each shard is then copied under its own read lock, briefly, before being
 // serialized with no locks held — searches and mutations proceed
@@ -95,13 +104,15 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	cfg := idx.set.Params()
 	nextID := idx.set.NextID()
 
-	if _, err := cw.Write(magicV2[:]); err != nil {
+	if _, err := cw.Write(magicV3[:]); err != nil {
 		return cw.n, fmt.Errorf("dblsh: write header: %w", err)
 	}
 	hdr := []interface{}{
 		uint32(idx.set.Shards()),
 		uint64(nextID),
-		uint32(idx.dim),
+		uint32(idx.set.Dim()), // internal dim: the stored rows are transformed
+		uint32(cfg.Metric),
+		cfg.MetricNormBound,
 		uint32(cfg.K), uint32(cfg.L), uint32(cfg.T),
 		cfg.C, cfg.W0,
 		cfg.Seed,
@@ -111,7 +122,8 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 			return cw.n, fmt.Errorf("dblsh: write header: %w", err)
 		}
 	}
-	rowBuf := make([]byte, idx.dim*4)
+	idim := idx.set.Dim()
+	rowBuf := make([]byte, idim*4)
 	for s := 0; s < idx.set.Shards(); s++ {
 		// One shard resident at a time: the copy holds only this shard's
 		// read lock, and the disk writes below hold no lock at all.
@@ -140,7 +152,7 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 		}
 		// Vectors row by row through a reused buffer.
 		for i := 0; i < part.Rows; i++ {
-			row := part.Flat[i*idx.dim : (i+1)*idx.dim]
+			row := part.Flat[i*idim : (i+1)*idim]
 			for j, f := range row {
 				binary.LittleEndian.PutUint32(rowBuf[j*4:], math.Float32bits(f))
 			}
@@ -174,6 +186,8 @@ func Read(r io.Reader) (*Index, error) {
 		return readV1(cr)
 	case magicV2:
 		return readV2(cr)
+	case magicV3:
+		return readV3(cr)
 	}
 	return nil, fmt.Errorf("dblsh: bad magic %q (not a DB-LSH index file?)", gotMagic)
 }
@@ -249,9 +263,12 @@ func readV1(cr *crcReader) (*Index, error) {
 		C: c, W0: w0, K: int(k), L: int(l), T: int(t),
 		Seed: seed, InitialRadius: r0,
 	})
-	return &Index{set: set, dim: int(dim)}, nil
+	met, _ := metric.New(metric.Euclidean, 0)
+	return &Index{set: set, dim: int(dim), met: met}, nil
 }
 
+// readV2 loads a pre-metric-subsystem file: the same shard layout as v3,
+// always Euclidean.
 func readV2(cr *crcReader) (*Index, error) {
 	var (
 		shards  uint32
@@ -264,8 +281,49 @@ func readV2(cr *crcReader) (*Index, error) {
 	if err := readHeader(cr, &shards, &nextID, &dim, &k, &l, &t, &c, &w0, &seed); err != nil {
 		return nil, err
 	}
+	cfg := core.Config{C: c, W0: w0, K: int(k), L: int(l), T: int(t), Seed: seed}
+	return readShards(cr, shards, nextID, dim, cfg)
+}
+
+// readV3 loads the current format: v2 plus the metric id and norm bound.
+func readV3(cr *crcReader) (*Index, error) {
+	var (
+		shards  uint32
+		nextID  uint64
+		dim     uint32
+		mk      uint32
+		bound   float64
+		k, l, t uint32
+		c, w0   float64
+		seed    int64
+	)
+	if err := readHeader(cr, &shards, &nextID, &dim, &mk, &bound, &k, &l, &t, &c, &w0, &seed); err != nil {
+		return nil, err
+	}
+	if !metric.Kind(mk).Valid() {
+		return nil, fmt.Errorf("dblsh: unknown metric id %d (file from a newer version?)", mk)
+	}
+	cfg := core.Config{
+		C: c, W0: w0, K: int(k), L: int(l), T: int(t), Seed: seed,
+		Metric: metric.Kind(mk), MetricNormBound: bound,
+	}
+	return readShards(cr, shards, nextID, dim, cfg)
+}
+
+// readShards reads the per-shard payloads shared by v2 and v3, verifies the
+// checksum and rebuilds the index. dim is the internal dimensionality; the
+// metric in cfg determines the user-facing one.
+func readShards(cr *crcReader, shards uint32, nextID uint64, dim uint32, cfg core.Config) (*Index, error) {
 	if shards == 0 || shards > maxShards || dim == 0 || dim > maxDim || nextID > maxVectors {
 		return nil, fmt.Errorf("dblsh: implausible layout: %d shards, %d ids, dim %d", shards, nextID, dim)
+	}
+	met, err := metric.New(cfg.Metric, cfg.MetricNormBound)
+	if err != nil {
+		return nil, fmt.Errorf("dblsh: bad metric state: %w", err)
+	}
+	udim := met.UserDim(int(dim))
+	if udim <= 0 {
+		return nil, fmt.Errorf("dblsh: internal dim %d leaves no user dimensions under %s", dim, cfg.Metric)
 	}
 	parts := make([]shard.Part, shards)
 	var total uint64
@@ -332,8 +390,6 @@ func readV2(cr *crcReader) (*Index, error) {
 	}
 	// total == 0 is legitimate: an index whose every vector was deleted and
 	// compacted away still round-trips (its id space and layout survive).
-	set := shard.Restore(int(dim), int(nextID), 0, core.Config{
-		C: c, W0: w0, K: int(k), L: int(l), T: int(t), Seed: seed,
-	}, parts)
-	return &Index{set: set, dim: int(dim)}, nil
+	set := shard.Restore(int(dim), int(nextID), 0, cfg, parts)
+	return &Index{set: set, dim: udim, met: met}, nil
 }

@@ -1,12 +1,23 @@
 // Command dblsh-server serves approximate nearest neighbor queries over HTTP
 // with a DB-LSH index.
 //
-// The index is loaded from a file previously written with Index.WriteTo
-// (-index), or built at startup from a demo corpus (-demo-n / -demo-dim)
-// when no file is given.
+// The index comes from one of three places: a durable data directory
+// (-data-dir, recommended — mutations survive restarts and crashes), a file
+// previously written with Index.WriteTo (-index), or a demo corpus built at
+// startup (-demo-n / -demo-dim) when neither is given.
 //
+//	dblsh-server -addr :8080 -data-dir /var/lib/dblsh -sync 100ms -checkpoint-every 1m
 //	dblsh-server -addr :8080 -index vectors.dblsh
 //	dblsh-server -addr :8080 -demo-n 100000 -demo-dim 128
+//
+// With -data-dir the server opens the directory's checkpoint, replays its
+// write-ahead op log, and logs every subsequent mutation: a crash loses at
+// most what the -sync policy ("always", "never", or a flush interval like
+// "100ms") had not yet fsynced. -checkpoint-every rewrites the snapshot and
+// truncates the log in the background; POST /checkpoint does it on demand.
+// A fresh (empty) data directory is seeded from -index when given, from the
+// demo corpus otherwise. On SIGINT/SIGTERM the server drains in-flight
+// requests and flushes the log before exiting.
 //
 // Endpoints:
 //
@@ -18,6 +29,7 @@
 //	POST /vectors         {"vector": [...]}
 //	POST /delete          {"id": 7}
 //	POST /compact         {"shard": 2} (omit shard to compact all)
+//	POST /checkpoint      rewrite the durable snapshot, truncate the op log
 //
 // Search endpoints accept optional per-request knobs — "t" (candidate
 // budget), "early_stop" (termination factor ≥ 1), "max_radius" (radius
@@ -30,23 +42,29 @@
 // With -shards S the index is partitioned across S independently locked
 // shards, so /vectors and /delete stall only 1/S of search capacity and
 // /compact rebuilds one shard while the rest serve; /stats reports the
-// per-shard breakdown. -compact-fraction enables automatic background
-// compaction once a shard's tombstoned fraction crosses the threshold.
+// per-shard breakdown plus, under -data-dir, the durability state (log
+// bytes, ops since checkpoint, last checkpoint time). -compact-fraction
+// enables automatic background compaction once a shard's tombstoned
+// fraction crosses the threshold.
 //
 // With -metric the demo corpus is indexed under a non-Euclidean metric
-// ("cosine" or "ip"); an -index file carries its own metric. /stats reports
-// the active metric, search responses carry distances in that metric
-// (cosine distance, or negated inner product under ip), and the radius
-// knobs are rejected where the metric leaves them undefined.
+// ("cosine" or "ip"); an -index file or data directory carries its own
+// metric. /stats reports the active metric, search responses carry
+// distances in that metric (cosine distance, or negated inner product under
+// ip), and the radius knobs are rejected where the metric leaves them
+// undefined.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dblsh"
@@ -56,6 +74,9 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		indexFile   = flag.String("index", "", "index file written by Index.WriteTo (empty: build demo corpus)")
+		dataDir     = flag.String("data-dir", "", "durable data directory: checkpoint + write-ahead op log (empty: in-memory only)")
+		syncFlag    = flag.String("sync", "always", `op-log sync policy: "always", "never", or a flush interval like "100ms"`)
+		ckptEvery   = flag.Duration("checkpoint-every", time.Minute, "background checkpoint cadence under -data-dir (0 disables)")
 		demoN       = flag.Int("demo-n", 50_000, "demo corpus size when -index is not given")
 		demoDim     = flag.Int("demo-dim", 64, "demo corpus dimensionality")
 		seed        = flag.Int64("seed", 1, "demo corpus / hashing seed")
@@ -69,9 +90,21 @@ func main() {
 	if err != nil {
 		log.Fatalf("dblsh-server: %v", err)
 	}
-	idx, err := loadIndex(*indexFile, *demoN, *demoDim, *seed, *shards, *compactFrac, met)
+	syncPolicy, syncEvery, err := parseSyncFlag(*syncFlag)
 	if err != nil {
 		log.Fatalf("dblsh-server: %v", err)
+	}
+	idx, err := loadIndex(config{
+		indexFile: *indexFile, dataDir: *dataDir,
+		sync: syncPolicy, syncEvery: syncEvery, checkpointEvery: *ckptEvery,
+		demoN: *demoN, demoDim: *demoDim, seed: *seed,
+		shards: *shards, compactFrac: *compactFrac, metric: met,
+	})
+	if err != nil {
+		log.Fatalf("dblsh-server: %v", err)
+	}
+	if _, durable := idx.Durability(); durable {
+		log.Printf("durable store %s: sync=%s checkpoint-every=%v", *dataDir, *syncFlag, *ckptEvery)
 	}
 	log.Printf("serving %d vectors of dim %d (%s metric) across %d shard(s) on %s",
 		idx.Len(), idx.Dim(), idx.Metric(), idx.Shards(), *addr)
@@ -81,12 +114,92 @@ func main() {
 		Handler:           newServer(idx).handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// flush and close the durable state so no acknowledged mutation rides
+	// only in memory.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("dblsh-server: shutdown: %v", err)
+	}
+	if err := idx.Close(); err != nil {
+		log.Fatalf("dblsh-server: close index: %v", err)
+	}
 }
 
-func loadIndex(path string, demoN, demoDim int, seed int64, shards int, compactFrac float64, met dblsh.Metric) (*dblsh.Index, error) {
-	if path != "" {
-		f, err := os.Open(path)
+// parseSyncFlag maps the -sync flag to a policy: "always", "never", or a
+// duration meaning interval flushing at that cadence.
+func parseSyncFlag(s string) (dblsh.SyncPolicy, time.Duration, error) {
+	switch s {
+	case "always":
+		return dblsh.SyncAlways, 0, nil
+	case "never":
+		return dblsh.SyncNever, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf(`-sync must be "always", "never" or a positive duration, got %q`, s)
+	}
+	return dblsh.SyncInterval, d, nil
+}
+
+type config struct {
+	indexFile, dataDir         string
+	sync                       dblsh.SyncPolicy
+	syncEvery, checkpointEvery time.Duration
+	demoN, demoDim             int
+	seed                       int64
+	shards                     int
+	compactFrac                float64
+	metric                     dblsh.Metric
+}
+
+func loadIndex(c config) (*dblsh.Index, error) {
+	if c.dataDir == "" {
+		return loadEphemeral(c)
+	}
+	opts := dblsh.Options{
+		Sync: c.sync, SyncEvery: c.syncEvery, CheckpointEvery: c.checkpointEvery,
+		CompactFraction: c.compactFrac,
+	}
+	// A directory that already holds a checkpoint resumes from it; a fresh
+	// one is seeded (from -index or the demo corpus) and then reopened
+	// durably.
+	if !dblsh.IsStore(c.dataDir) {
+		seedIdx, err := loadEphemeral(c)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("seeding fresh data directory %s with %d vectors", c.dataDir, seedIdx.Len())
+		if err := seedIdx.Save(c.dataDir); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	idx, err := dblsh.Open(c.dataDir, opts)
+	if err != nil {
+		return nil, fmt.Errorf("open %s: %w", c.dataDir, err)
+	}
+	log.Printf("opened %s in %v", c.dataDir, time.Since(start).Round(time.Millisecond))
+	return idx, nil
+}
+
+// loadEphemeral builds the in-memory index: from -index when given, from
+// the demo corpus otherwise.
+func loadEphemeral(c config) (*dblsh.Index, error) {
+	if c.indexFile != "" {
+		f, err := os.Open(c.indexFile)
 		if err != nil {
 			return nil, err
 		}
@@ -94,36 +207,36 @@ func loadIndex(path string, demoN, demoDim int, seed int64, shards int, compactF
 		start := time.Now()
 		idx, err := dblsh.Read(f)
 		if err != nil {
-			return nil, fmt.Errorf("load %s: %w", path, err)
+			return nil, fmt.Errorf("load %s: %w", c.indexFile, err)
 		}
 		// The shard layout travels with the file; the compaction policy is
 		// operational and applies to loaded indexes too.
-		if err := idx.SetCompactFraction(compactFrac); err != nil {
+		if err := idx.SetCompactFraction(c.compactFrac); err != nil {
 			return nil, err
 		}
-		log.Printf("loaded %s in %v", path, time.Since(start).Round(time.Millisecond))
+		log.Printf("loaded %s in %v", c.indexFile, time.Since(start).Round(time.Millisecond))
 		return idx, nil
 	}
-	log.Printf("no -index given; building a %d×%d demo corpus", demoN, demoDim)
-	rng := rand.New(rand.NewSource(seed))
-	flat := make([]float32, demoN*demoDim)
+	log.Printf("no -index given; building a %d×%d demo corpus", c.demoN, c.demoDim)
+	rng := rand.New(rand.NewSource(c.seed))
+	flat := make([]float32, c.demoN*c.demoDim)
 	// Clustered demo data: 100 Gaussian blobs.
 	centers := make([][]float32, 100)
 	for i := range centers {
-		c := make([]float32, demoDim)
-		for j := range c {
-			c[j] = float32(rng.NormFloat64() * 10)
+		ctr := make([]float32, c.demoDim)
+		for j := range ctr {
+			ctr[j] = float32(rng.NormFloat64() * 10)
 		}
-		centers[i] = c
+		centers[i] = ctr
 	}
-	for i := 0; i < demoN; i++ {
-		c := centers[rng.Intn(len(centers))]
-		row := flat[i*demoDim : (i+1)*demoDim]
+	for i := 0; i < c.demoN; i++ {
+		ctr := centers[rng.Intn(len(centers))]
+		row := flat[i*c.demoDim : (i+1)*c.demoDim]
 		for j := range row {
-			row[j] = c[j] + float32(rng.NormFloat64())
+			row[j] = ctr[j] + float32(rng.NormFloat64())
 		}
 	}
-	return dblsh.NewFromFlat(flat, demoN, demoDim, dblsh.Options{
-		Seed: seed, Shards: shards, CompactFraction: compactFrac, Metric: met,
+	return dblsh.NewFromFlat(flat, c.demoN, c.demoDim, dblsh.Options{
+		Seed: c.seed, Shards: c.shards, CompactFraction: c.compactFrac, Metric: c.metric,
 	})
 }

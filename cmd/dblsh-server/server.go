@@ -40,6 +40,7 @@ func newServer(idx *dblsh.Index) *server {
 //	POST /vectors         {"vector": [...]} — appends, returns its id
 //	POST /delete          {"id": 7} — tombstones a vector
 //	POST /compact         {"shard": 2} — rebuild one shard (omit for all), dropping tombstones
+//	POST /checkpoint      — rewrite the durable snapshot and truncate the op log (requires -data-dir)
 //
 // The per-request knobs t, early_stop, max_radius and filter_ids are all
 // optional and default to the index's build-time configuration; filter_ids,
@@ -55,6 +56,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/vectors", s.handleAdd)
 	mux.HandleFunc("/delete", s.handleDelete)
 	mux.HandleFunc("/compact", s.handleCompact)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	return mux
 }
 
@@ -77,6 +79,15 @@ type shardStatsJSON struct {
 	IndexSizeBytes int64  `json:"index_size_bytes"`
 }
 
+// durabilityJSON reports a durable server's recovery state; absent from
+// /stats when the server runs without -data-dir.
+type durabilityJSON struct {
+	LogBytes           int64  `json:"log_bytes"`
+	OpsSinceCheckpoint int64  `json:"ops_since_checkpoint"`
+	Checkpoints        int64  `json:"checkpoints"`
+	LastCheckpoint     string `json:"last_checkpoint,omitempty"` // RFC 3339; absent if never
+}
+
 type statsResponse struct {
 	Vectors        int              `json:"vectors"`
 	Deleted        int              `json:"deleted"`
@@ -91,6 +102,23 @@ type statsResponse struct {
 	IndexSizeBytes int64            `json:"index_size_bytes"`
 	ShardCount     int              `json:"shard_count"`
 	Shards         []shardStatsJSON `json:"shards"`
+	Durability     *durabilityJSON  `json:"durability,omitempty"`
+}
+
+func durabilityStats(idx *dblsh.Index) *durabilityJSON {
+	st, ok := idx.Durability()
+	if !ok {
+		return nil
+	}
+	js := &durabilityJSON{
+		LogBytes:           st.LogBytes,
+		OpsSinceCheckpoint: st.OpsSinceCheckpoint,
+		Checkpoints:        st.Checkpoints,
+	}
+	if !st.LastCheckpoint.IsZero() {
+		js.LastCheckpoint = st.LastCheckpoint.Format(time.RFC3339)
+	}
+	return js
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -109,6 +137,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		C:          p.C,
 		W0:         p.W0,
 		ShardCount: s.idx.Shards(),
+		Durability: durabilityStats(s.idx),
 	}
 	// Derive the totals from the same per-shard snapshot the response
 	// shows, so vectors/deleted always agree with the shard breakdown even
@@ -387,7 +416,17 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.idx.Add(req.Vector)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		// Only a rejected vector is the client's fault. A durable-write
+		// failure is a server-side fault (nothing was applied — retrying is
+		// safe), and a closed index means the server is shutting down.
+		switch {
+		case errors.Is(err, dblsh.ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, dblsh.ErrDurability):
+			httpError(w, http.StatusInternalServerError, err.Error())
+		default:
+			httpError(w, http.StatusBadRequest, err.Error())
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, addResponse{ID: id})
@@ -417,9 +456,20 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing id")
 		return
 	}
-	// Deleting an unknown or already-deleted id is not an error: the
-	// response reports whether this request removed it.
-	writeJSON(w, http.StatusOK, deleteResponse{Deleted: s.idx.Delete(*req.ID)})
+	// Deleting an unknown or already-deleted id is not an error — the
+	// response reports whether this request removed it — but a durable-log
+	// failure must not masquerade as "not found": the vector is still live
+	// and the fault is the server's.
+	deleted, err := s.idx.DeleteWithError(*req.ID)
+	if err != nil {
+		if errors.Is(err, dblsh.ErrClosed) {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		} else {
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, deleteResponse{Deleted: deleted})
 }
 
 type compactRequest struct {
@@ -452,6 +502,27 @@ func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, compactResponse{Removed: removed})
+}
+
+// handleCheckpoint rewrites the durable snapshot and truncates the op log
+// on demand — before a planned restart, after a bulk load, or from a cron
+// job when -checkpoint-every is disabled. The index keeps serving
+// throughout (the snapshot streams shard by shard under per-shard read
+// locks). The response reports the post-checkpoint durability state.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if _, durable := s.idx.Durability(); !durable {
+		httpError(w, http.StatusBadRequest, "server is not durable (start it with -data-dir)")
+		return
+	}
+	if err := s.idx.Checkpoint(); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, durabilityStats(s.idx))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -655,7 +655,7 @@ func TestLoadIndexFromFile(t *testing.T) {
 	}
 	f.Close()
 
-	loaded, err := loadIndex(path, 0, 0, 0, 1, 0, dblsh.Euclidean)
+	loaded, err := loadIndex(config{indexFile: path, shards: 1, metric: dblsh.Euclidean})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -665,7 +665,7 @@ func TestLoadIndexFromFile(t *testing.T) {
 }
 
 func TestLoadIndexDemo(t *testing.T) {
-	idx, err := loadIndex("", 500, 8, 3, 4, 0, dblsh.Euclidean)
+	idx, err := loadIndex(config{demoN: 500, demoDim: 8, seed: 3, shards: 4, metric: dblsh.Euclidean})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -678,7 +678,121 @@ func TestLoadIndexDemo(t *testing.T) {
 }
 
 func TestLoadIndexMissingFile(t *testing.T) {
-	if _, err := loadIndex("/nonexistent/path.dblsh", 0, 0, 0, 1, 0, dblsh.Euclidean); err == nil {
+	if _, err := loadIndex(config{indexFile: "/nonexistent/path.dblsh", shards: 1, metric: dblsh.Euclidean}); err == nil {
 		t.Fatal("missing file must error")
+	}
+}
+
+// TestCheckpointEndpoint drives POST /checkpoint and the /stats durability
+// block against a durable index: mutations show up as pending ops, a
+// checkpoint absorbs them, and a non-durable server rejects the endpoint.
+func TestCheckpointEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	idx, err := dblsh.Open(dir, dblsh.Options{Dim: 16, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { idx.Close() })
+	ts := httptest.NewServer(newServer(idx).handler())
+	t.Cleanup(ts.Close)
+
+	resp := postJSON(t, ts.URL+"/vectors", searchRequest{Vector: make([]float32, 16)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	var stats statsResponse
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, sresp, &stats)
+	if stats.Durability == nil || stats.Durability.OpsSinceCheckpoint != 1 || stats.Durability.LogBytes == 0 {
+		t.Fatalf("pre-checkpoint durability stats: %+v", stats.Durability)
+	}
+
+	var after durabilityJSON
+	decode(t, postJSON(t, ts.URL+"/checkpoint", nil), &after)
+	if after.OpsSinceCheckpoint != 0 || after.LogBytes != 0 || after.LastCheckpoint == "" {
+		t.Fatalf("post-checkpoint response: %+v", after)
+	}
+
+	// GET is not allowed.
+	gresp, err := http.Get(ts.URL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /checkpoint status %d", gresp.StatusCode)
+	}
+
+	// After Close the server is shutting down: an add is a 503, not a 400.
+	if err := idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cresp := postJSON(t, ts.URL+"/vectors", searchRequest{Vector: make([]float32, 16)})
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("add on closed index: status %d, want 503", cresp.StatusCode)
+	}
+
+	// A non-durable server rejects the endpoint and omits the stats block.
+	mem, _ := testServer(t)
+	mresp := postJSON(t, mem.URL+"/checkpoint", nil)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-durable /checkpoint status %d", mresp.StatusCode)
+	}
+	var memStats statsResponse
+	msresp, err := http.Get(mem.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, msresp, &memStats)
+	if memStats.Durability != nil {
+		t.Fatalf("non-durable /stats carries durability block: %+v", memStats.Durability)
+	}
+}
+
+// TestLoadIndexDurableLifecycle drives the -data-dir path end to end: a
+// fresh directory is seeded from the demo corpus, mutations stick across a
+// close-and-reopen, and the second open resumes from the directory rather
+// than rebuilding the demo corpus.
+func TestLoadIndexDurableLifecycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	cfg := config{
+		dataDir: dir, demoN: 300, demoDim: 8, seed: 5, shards: 2,
+		sync: dblsh.SyncNever, metric: dblsh.Euclidean,
+	}
+	idx, err := loadIndex(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 300 || idx.Shards() != 2 {
+		t.Fatalf("seeded store shape: Len=%d Shards=%d", idx.Len(), idx.Shards())
+	}
+	if _, ok := idx.Durability(); !ok {
+		t.Fatal("store opened without durability")
+	}
+	v := make([]float32, 8)
+	id, err := idx.Add(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a smaller demo config: the directory must win.
+	cfg.demoN = 10
+	re, err := loadIndex(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 301 || re.NextID() != id+1 {
+		t.Fatalf("reopened store: Len=%d NextID=%d, want 301/%d", re.Len(), re.NextID(), id+1)
 	}
 }

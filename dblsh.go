@@ -85,6 +85,28 @@
 // one being compacted, keeps serving (the rebuild holds no lock; only a
 // short swap does). Options.CompactFraction automates this per shard in
 // the background. Global ids are stable across all of it.
+//
+// # Durability
+//
+// Open turns the index into a durable store backed by a directory: a v3
+// snapshot (the WriteTo format) plus a write-ahead op log of every Add and
+// Delete since that snapshot. A process killed without Close reopens with
+// every mutation the sync policy had fsynced, under the same ids; a
+// truncated final log record (a crash mid-append) is detected and dropped:
+//
+//	idx, err := dblsh.Open(dir, dblsh.Options{
+//	    Dim:             768,                  // required when dir is empty
+//	    Sync:            dblsh.SyncAlways,     // fsync before acknowledging
+//	    CheckpointEvery: time.Minute,          // absorb the log in background
+//	})
+//	defer idx.Close()
+//	id, err := idx.Add(v)                      // durable once Add returns
+//
+// Checkpoint (or the background checkpointer) rewrites the snapshot shard
+// by shard under per-shard read locks and truncates the log, bounding both
+// recovery time and disk growth while the store keeps serving. Save bridges
+// the other way: it writes any in-memory index as the checkpoint of a fresh
+// directory.
 package dblsh
 
 import (
@@ -173,6 +195,34 @@ type Options struct {
 	// headroom when Adds may exceed the build-time maximum. Only valid with
 	// Metric == InnerProduct.
 	NormBound float64
+
+	// The fields below configure the durability subsystem and apply only to
+	// indexes opened with Open; New and NewFromFlat build purely in-memory
+	// indexes and ignore them.
+
+	// Dim is the vector dimensionality of a durable store created in an
+	// empty directory (there is no dataset to infer it from). Once the
+	// directory holds a checkpoint the stored dimensionality wins, and a
+	// non-zero Dim that disagrees with it is an error.
+	Dim int
+
+	// Sync selects when logged mutations are fsynced to stable storage:
+	// SyncAlways (the zero value — every mutation, before it is
+	// acknowledged), SyncInterval (a background flush every SyncEvery), or
+	// SyncNever (the OS decides). See the SyncPolicy constants for the loss
+	// window each policy bounds.
+	Sync SyncPolicy
+
+	// SyncEvery is the background fsync cadence under SyncInterval.
+	// 0 defaults to 100ms. Ignored under the other policies.
+	SyncEvery time.Duration
+
+	// CheckpointEvery, when positive, runs a background checkpoint at that
+	// cadence (skipped while no mutations are pending): the v3 snapshot is
+	// rewritten shard by shard and the op log truncated, bounding both
+	// recovery time and log growth. 0 leaves checkpointing to explicit
+	// Checkpoint calls.
+	CheckpointEvery time.Duration
 }
 
 // Index answers approximate nearest neighbor queries. It is safe for fully
@@ -182,6 +232,7 @@ type Index struct {
 	set *shard.Set
 	dim int // user-facing dimensionality; the internal space may be wider
 	met metric.Metric
+	dur *durable // non-nil only for indexes opened with Open
 }
 
 // New builds an index over data, copying the vectors into an internal
@@ -216,6 +267,13 @@ func NewFromFlat(flat []float32, n, dim int, opts Options) (*Index, error) {
 	if len(flat) != n*dim {
 		return nil, fmt.Errorf("dblsh: flat data has %d values, want %d×%d = %d", len(flat), n, dim, n*dim)
 	}
+	return newIndex(flat, n, dim, opts)
+}
+
+// newIndex validates opts and builds an index over n ≥ 0 rows. It is
+// NewFromFlat without the non-empty requirement: Open starts a fresh
+// durable store from an empty index and grows it by WAL replay.
+func newIndex(flat []float32, n, dim int, opts Options) (*Index, error) {
 	if opts.C != 0 && opts.C <= 1 {
 		return nil, fmt.Errorf("dblsh: approximation ratio C must exceed 1, got %v", opts.C)
 	}
@@ -370,17 +428,27 @@ func (idx *Index) IndexSizeBytes() int64 { return idx.set.IndexSizeBytes() }
 // before an Add remain valid. Under a non-Euclidean metric the vector must
 // satisfy the metric's ingest contract (nonzero under Cosine, ‖v‖ within
 // the norm bound under InnerProduct) or an error is returned.
+//
+// On a durable index (see Open) the mutation is write-ahead: the op log
+// record is appended — and, under SyncAlways, fsynced — before the vector
+// enters the index. A logging failure therefore applies nothing and
+// returns an error wrapping ErrDurability (safe to retry); after Close,
+// Add applies nothing and returns ErrClosed.
 func (idx *Index) Add(v []float32) (int, error) {
 	if len(v) != idx.dim {
 		return 0, fmt.Errorf("dblsh: vector dim %d, index dim %d", len(v), idx.dim)
 	}
-	if idx.met.Kind() == metric.Euclidean {
-		return idx.set.Add(v), nil
+	row := v
+	if idx.met.Kind() != metric.Euclidean {
+		if err := idx.met.CheckPoint(v); err != nil {
+			return 0, err
+		}
+		row = idx.met.TransformPoint(nil, v)
 	}
-	if err := idx.met.CheckPoint(v); err != nil {
-		return 0, err
+	if idx.dur != nil {
+		return idx.dur.add(idx, row)
 	}
-	return idx.set.Add(idx.met.TransformPoint(nil, v)), nil
+	return idx.set.Add(row), nil
 }
 
 // SearchBatch answers many queries in parallel across GOMAXPROCS workers,
@@ -398,7 +466,30 @@ func (idx *Index) SearchBatch(queries [][]float32, k int) [][]Result {
 // concurrently with searches and mutations: it write-locks only the shard
 // that owns id. It returns false when id was never allocated, is already
 // deleted, or was reclaimed by a compaction.
-func (idx *Index) Delete(id int) bool { return idx.set.Delete(id) }
+//
+// On a durable index (see Open) the tombstone is write-ahead: the op log
+// record is appended — and, under SyncAlways, fsynced — before the
+// tombstone is laid, so a true return means the delete is as durable as
+// the sync policy promises. A logging failure applies nothing and returns
+// false, indistinguishable here from "not found" — callers that must tell
+// a server fault apart (the cause is otherwise only surfaced by Close) use
+// DeleteWithError. After Close, Delete applies nothing and returns false.
+func (idx *Index) Delete(id int) bool {
+	ok, _ := idx.DeleteWithError(id)
+	return ok
+}
+
+// DeleteWithError is Delete with durable failures surfaced instead of
+// folded into the boolean: err is non-nil when a durable index could not
+// log the tombstone (wrapping ErrDurability; nothing was applied, retrying
+// is safe) or when the index is closed (ErrClosed). ok keeps Delete's
+// meaning. On a purely in-memory index err is always nil.
+func (idx *Index) DeleteWithError(id int) (ok bool, err error) {
+	if idx.dur != nil {
+		return idx.dur.delete(idx, id)
+	}
+	return idx.set.Delete(id), nil
+}
 
 // Deleted returns the number of tombstoned vectors.
 func (idx *Index) Deleted() int { return idx.set.Deleted() }

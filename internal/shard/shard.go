@@ -150,11 +150,11 @@ func shardSeed(base int64, i int) int64 { return base + int64(i) }
 // automatic background compaction of a shard once its tombstoned fraction
 // reaches the threshold.
 func Build(flat []float32, n, dim, shards int, compactFrac float64, cfg core.Config) *Set {
-	if shards > n {
-		shards = n // no empty shards at build time
+	if n > 0 && shards > n {
+		shards = n // no empty shards when there is data to stripe
 	}
 	if shards < 1 {
-		shards = 1 // floor last, so n == 0 still yields one (empty) shard
+		shards = 1
 	}
 	cfg = cfg.Resolved(n)
 	s := &Set{
@@ -281,7 +281,11 @@ func (s *Set) Params() core.Config { return s.cfg }
 func (s *Set) NextID() int { return int(s.nextID.Load()) }
 
 // Len returns the number of resident vectors (live + tombstoned) across all
-// shards. It equals NextID until a compaction reclaims tombstones.
+// shards. It never exceeds NextID but can fall short of it: compaction
+// reclaims tombstoned rows, a snapshot taken while an Add was between id
+// allocation and shard insertion reloads with that id as a hole, and WAL
+// replay skips records whose rows were lost to an unsynced tail — in every
+// case the missing ids stay unallocated forever rather than being reused.
 func (s *Set) Len() int {
 	n := 0
 	for _, st := range s.shards {
@@ -336,6 +340,62 @@ func (s *Set) Add(v []float32) int {
 	}
 	st.mu.Unlock()
 	return g
+}
+
+// AddAt inserts v under the specific global id g, advancing the id
+// allocator past g so no future Add can collide with it. It is the WAL
+// replay primitive: a logged Add must land under the id it was acknowledged
+// with, and replaying it twice (the record may describe a row the
+// checkpoint already contains) must be a no-op, so AddAt reports false and
+// inserts nothing when g is already resident. Like Add it write-locks only
+// the owning shard.
+func (s *Set) AddAt(g int, v []float32) bool {
+	if len(v) != s.dim {
+		panic(fmt.Sprintf("shard: insert dim %d, index dim %d", len(v), s.dim))
+	}
+	if g < 0 {
+		panic(fmt.Sprintf("shard: negative global id %d", g))
+	}
+	for {
+		cur := s.nextID.Load()
+		if cur > int64(g) {
+			break
+		}
+		if s.nextID.CompareAndSwap(cur, int64(g)+1) {
+			break
+		}
+	}
+	stride := len(s.shards)
+	st := s.shards[g%stride]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.local(g, stride) >= 0 {
+		return false // already resident (live or tombstoned)
+	}
+	if st.localOf == nil && g != len(st.globals)*stride+st.offset {
+		st.materialize()
+	}
+	local := st.idx.Insert(v)
+	st.globals = append(st.globals, g)
+	if st.localOf != nil {
+		st.localOf[g] = local
+	}
+	return true
+}
+
+// Live reports whether global id g is resident and not tombstoned — i.e.
+// whether a Delete of g would succeed. The durability layer consults it
+// before logging a Delete record, so the op log never carries records for
+// mutations that were going to be no-ops.
+func (s *Set) Live(g int) bool {
+	if g < 0 || g >= int(s.nextID.Load()) {
+		return false
+	}
+	st := s.shards[g%len(s.shards)]
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	l := st.local(g, len(s.shards))
+	return l >= 0 && !st.idx.IsDeleted(l)
 }
 
 // Delete tombstones global id g, returning false when g was never
@@ -863,8 +923,14 @@ func (s *Set) SearchBatch(queries [][]float32, k int, p core.QueryParams) ([][]v
 		for i := range queries {
 			nbs, err := sr.Search(queries[i], k, p)
 			if err != nil {
-				firstErr = err
-				break // out[i] stays nil: not answered
+				// Keep answering the remaining queries, exactly like the
+				// parallel path below: which queries a batch answers must
+				// not depend on the worker count, and once a context is
+				// cancelled the rest are near-free anyway.
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue // out[i] stays nil: not answered
 			}
 			out[i] = nbs
 			stats[i] = sr.last

@@ -1,0 +1,332 @@
+// Package wal implements the on-disk write-ahead op log of the durability
+// subsystem: an append-only sequence of Add/Delete records that captures
+// every mutation applied to an index since its last checkpoint, so a crash
+// loses at most the records the active sync policy had not yet fsynced.
+//
+// # Format
+//
+// A log file is a sequence of frames, each little-endian:
+//
+//	length  uint32   payload length in bytes
+//	crc     uint32   CRC-32 (IEEE) of the payload
+//	payload length bytes
+//
+// and each payload is one record:
+//
+//	op      byte     1 = add, 2 = delete
+//	id      uint64   global id of the vector
+//	count   uint32   (add only) number of float32 components
+//	row     count × float32   (add only) the vector, in the index's
+//	                 *internal* (metric-transformed) representation, so
+//	                 replay re-inserts rows verbatim with no metric
+//	                 re-derivation
+//
+// The framing makes the log torn-tail tolerant: a crash mid-append leaves a
+// final frame that is short, fails its checksum, or was zero-filled by the
+// filesystem, which Replay detects and drops — every complete frame before
+// it is intact and replayed. A damaged frame is only accepted as the torn
+// tail when nothing but zero bytes follows it: a crash can damage only the
+// unsynced suffix of the file, so intact data *after* a bad frame is media
+// corruption or version skew, and Replay reports it as ErrCorrupt (as it
+// does a frame whose checksum verifies but whose payload is structurally
+// invalid) rather than silently dropping acknowledged mutations.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// Op identifies a record's mutation type.
+type Op byte
+
+const (
+	// OpAdd records an insertion: ID plus the internal-space row.
+	OpAdd Op = 1
+	// OpDelete records a tombstone: ID only.
+	OpDelete Op = 2
+)
+
+// Record is one logged mutation.
+type Record struct {
+	Op  Op
+	ID  uint64
+	Row []float32 // internal (transformed) row for OpAdd; nil for OpDelete
+}
+
+// frameHeaderSize is the length+crc prefix of every frame.
+const frameHeaderSize = 8
+
+// payload sizes: op byte + id, plus count for adds.
+const (
+	deletePayloadSize    = 1 + 8
+	addPayloadHeaderSize = 1 + 8 + 4
+)
+
+// ErrCorrupt reports a frame whose checksum verified but whose payload is
+// not a valid record — version skew or real corruption, never a torn tail —
+// so callers fail loudly instead of dropping acknowledged mutations.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// AppendRecord appends rec's frame encoding to dst and returns the extended
+// slice. The encoding is canonical: equal records always produce equal
+// bytes.
+func AppendRecord(dst []byte, rec Record) []byte {
+	plen := deletePayloadSize
+	if rec.Op == OpAdd {
+		plen = addPayloadHeaderSize + 4*len(rec.Row)
+	}
+	start := len(dst)
+	dst = append(dst, make([]byte, frameHeaderSize+plen)...)
+	payload := dst[start+frameHeaderSize:]
+	payload[0] = byte(rec.Op)
+	binary.LittleEndian.PutUint64(payload[1:], rec.ID)
+	if rec.Op == OpAdd {
+		binary.LittleEndian.PutUint32(payload[9:], uint32(len(rec.Row)))
+		for i, f := range rec.Row {
+			binary.LittleEndian.PutUint32(payload[13+4*i:], math.Float32bits(f))
+		}
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(plen))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// decodePayload parses a checksum-verified payload. maxFloats bounds an add
+// row's length (the index dimensionality at the call site).
+func decodePayload(payload []byte, maxFloats int) (Record, error) {
+	if len(payload) < deletePayloadSize {
+		return Record{}, fmt.Errorf("%w: payload of %d bytes", ErrCorrupt, len(payload))
+	}
+	rec := Record{Op: Op(payload[0]), ID: binary.LittleEndian.Uint64(payload[1:])}
+	switch rec.Op {
+	case OpDelete:
+		if len(payload) != deletePayloadSize {
+			return Record{}, fmt.Errorf("%w: delete payload of %d bytes", ErrCorrupt, len(payload))
+		}
+		return rec, nil
+	case OpAdd:
+		if len(payload) < addPayloadHeaderSize {
+			return Record{}, fmt.Errorf("%w: add payload of %d bytes", ErrCorrupt, len(payload))
+		}
+		count := int(binary.LittleEndian.Uint32(payload[9:]))
+		if count > maxFloats || len(payload) != addPayloadHeaderSize+4*count {
+			return Record{}, fmt.Errorf("%w: add row of %d floats in %d bytes", ErrCorrupt, count, len(payload))
+		}
+		rec.Row = make([]float32, count)
+		for i := range rec.Row {
+			rec.Row[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[13+4*i:]))
+		}
+		return rec, nil
+	}
+	return Record{}, fmt.Errorf("%w: unknown op %d", ErrCorrupt, payload[0])
+}
+
+// ReplayResult summarizes one Replay pass.
+type ReplayResult struct {
+	// Records is the number of complete, verified records delivered.
+	Records int
+	// GoodOffset is the byte offset just past the last verified frame:
+	// truncating the file here removes the torn tail without touching any
+	// intact record.
+	GoodOffset int64
+	// Torn reports that the scan stopped at an incomplete or
+	// checksum-failing final frame (which was dropped) rather than at a
+	// clean end of file.
+	Torn bool
+}
+
+// Replay streams every intact record of the log at path to fn, in append
+// order. maxFloats bounds an add record's row length — anything longer is
+// corruption, not data. A torn tail — a truncated, checksum-failing or
+// zero-filled trailing frame, the signature of a crash mid-append — stops
+// the scan and is reported via ReplayResult.Torn, not as an error;
+// everything before it is delivered. A damaged frame followed by anything
+// other than zero bytes is not a crash artifact but mid-file corruption,
+// and aborts with ErrCorrupt instead of silently dropping the records
+// after it; a checksum-verified but structurally invalid record aborts the
+// same way, and an error from fn aborts with that error. In every abort
+// case the result still describes the records delivered so far.
+func Replay(path string, maxFloats int, fn func(Record) error) (ReplayResult, error) {
+	var res ReplayResult
+	f, err := os.Open(path)
+	if err != nil {
+		return res, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+
+	// tail decides what a damaged frame was: the torn tail of a crashed
+	// append (only the frame's own debris — at most zero-fill — remains) or
+	// mid-file corruption (intact data follows).
+	tail := func() (ReplayResult, error) {
+		for {
+			b, err := br.ReadByte()
+			if err != nil {
+				break
+			}
+			if b != 0 {
+				return res, fmt.Errorf("%w: data follows a damaged frame at offset %d", ErrCorrupt, res.GoodOffset)
+			}
+		}
+		res.Torn = true
+		return res, nil
+	}
+
+	maxPayload := addPayloadHeaderSize + 4*maxFloats
+	var hdr [frameHeaderSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				res.Torn = true
+			} else if !errors.Is(err, io.EOF) {
+				return res, fmt.Errorf("wal: read %s: %w", path, err)
+			}
+			return res, nil
+		}
+		plen := int(binary.LittleEndian.Uint32(hdr[:4]))
+		if plen < deletePayloadSize || plen > maxPayload {
+			// A garbage length leaves no way to even locate the frame's
+			// end; everything from the header on is the artifact.
+			return tail()
+		}
+		if cap(payload) < plen {
+			payload = make([]byte, maxPayload)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				res.Torn = true
+				return res, nil
+			}
+			return res, fmt.Errorf("wal: read %s: %w", path, err)
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:]) {
+			return tail()
+		}
+		rec, err := decodePayload(payload, maxFloats)
+		if err != nil {
+			return res, err
+		}
+		if err := fn(rec); err != nil {
+			return res, err
+		}
+		res.Records++
+		res.GoodOffset += int64(frameHeaderSize + plen)
+	}
+}
+
+// ErrWriterFailed latches a Writer after a failure it could not roll back:
+// the segment's tail state is unknown, so acknowledging further appends
+// (or claiming a successful sync) would be a lie. The segment stays
+// readable; recovery goes through Replay.
+var ErrWriterFailed = errors.New("wal: writer failed; segment tail state unknown")
+
+// Writer appends records to one log segment. It is not internally
+// synchronized: callers serialize Append/Sync/Close (the durability layer
+// holds its log mutex across them).
+type Writer struct {
+	f      *os.File
+	buf    []byte
+	size   int64
+	dirty  bool // bytes written since the last Sync
+	failed bool // see ErrWriterFailed
+}
+
+// OpenWriter opens (or creates) the segment at path for appending,
+// truncating it to size first — the caller passes Replay's GoodOffset so a
+// torn tail left by a crash is physically removed before new frames land
+// after it.
+func OpenWriter(path string, size int64) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, size: size}, nil
+}
+
+// Append writes rec's frame to the segment. A failed write that left a
+// partial frame is rolled back (truncate to the pre-append length), so a
+// transient error — a full disk, say — never strands garbage mid-file for
+// later frames to land behind, where replay would stop at the garbage and
+// silently drop them. If the rollback itself fails the writer latches into
+// ErrWriterFailed and refuses further appends.
+func (w *Writer) Append(rec Record) error {
+	if w.failed {
+		return ErrWriterFailed
+	}
+	w.buf = AppendRecord(w.buf[:0], rec)
+	n, err := w.f.Write(w.buf)
+	if err == nil {
+		w.size += int64(n)
+		w.dirty = true
+		return nil
+	}
+	if n > 0 {
+		if w.f.Truncate(w.size) != nil {
+			w.failed = true
+			w.size += int64(n)
+			return err
+		}
+		if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+			w.failed = true
+			return err
+		}
+		w.dirty = true // the rolled-back bytes may still be in the page cache
+	}
+	return err
+}
+
+// Sync fsyncs appended frames to stable storage. It is a no-op when nothing
+// was appended since the last Sync. A failed fsync latches the writer: the
+// kernel may have dropped the dirty pages, so no later Sync could honestly
+// claim to cover these frames (and no later append may be acknowledged on
+// top of them).
+func (w *Writer) Sync() error {
+	if w.failed {
+		return ErrWriterFailed
+	}
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.failed = true
+		return err
+	}
+	w.dirty = false
+	return nil
+}
+
+// Size returns the segment's current length in bytes (including any bytes
+// not yet fsynced).
+func (w *Writer) Size() int64 { return w.size }
+
+// Close syncs (unless the writer is latched failed) and closes the segment
+// file.
+func (w *Writer) Close() error {
+	var err error
+	if w.failed {
+		err = ErrWriterFailed
+	} else {
+		err = w.Sync()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

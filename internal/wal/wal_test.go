@@ -1,0 +1,327 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Op: OpAdd, ID: 0, Row: []float32{1, 2, 3, 4}},
+		{Op: OpAdd, ID: 1, Row: []float32{-1.5, 0, 2.25, 1e30}},
+		{Op: OpDelete, ID: 0},
+		{Op: OpAdd, ID: 2, Row: []float32{0, 0, 0, 0}},
+		{Op: OpDelete, ID: 2},
+	}
+}
+
+func writeLog(t *testing.T, path string, recs []Record) {
+	t.Helper()
+	w, err := OpenWriter(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func replayAll(t *testing.T, path string, maxFloats int) ([]Record, ReplayResult) {
+	t.Helper()
+	var got []Record
+	res, err := Replay(path, maxFloats, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, res
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	recs := sampleRecords()
+	writeLog(t, path, recs)
+	got, res := replayAll(t, path, 4)
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, recs)
+	}
+	if res.Torn {
+		t.Fatal("clean log reported a torn tail")
+	}
+	fi, _ := os.Stat(path)
+	if res.GoodOffset != fi.Size() {
+		t.Fatalf("GoodOffset %d, file size %d", res.GoodOffset, fi.Size())
+	}
+}
+
+// TestTornTailEveryTruncation truncates a valid log at every possible byte
+// length: replay must always return the records wholly before the cut, flag
+// the tail torn unless the cut lands exactly on a frame boundary, and never
+// error.
+func TestTornTailEveryTruncation(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log")
+	recs := sampleRecords()
+	writeLog(t, full, recs)
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame boundaries, for computing how many records survive a cut.
+	var bounds []int64
+	var enc []byte
+	off := int64(0)
+	bounds = append(bounds, 0)
+	for _, r := range recs {
+		enc = AppendRecord(enc[:0], r)
+		off += int64(len(enc))
+		bounds = append(bounds, off)
+	}
+
+	for cut := 0; cut <= len(raw); cut++ {
+		path := filepath.Join(dir, "cut.log")
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, res := replayAll(t, path, 4)
+		want := 0
+		exact := false
+		for i, b := range bounds {
+			if int64(cut) >= b {
+				want = i
+				exact = int64(cut) == b
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(got), want)
+		}
+		if want > 0 && !reflect.DeepEqual(got, recs[:want]) {
+			t.Fatalf("cut %d: wrong record prefix", cut)
+		}
+		if res.Torn == exact {
+			t.Fatalf("cut %d: Torn=%v, boundary=%v", cut, res.Torn, exact)
+		}
+		if res.GoodOffset != bounds[want] {
+			t.Fatalf("cut %d: GoodOffset %d, want %d", cut, res.GoodOffset, bounds[want])
+		}
+	}
+}
+
+// TestCorruptTailBitFlip flips one bit in the final record: replay must
+// drop exactly that record and report the tail torn.
+func TestCorruptTailBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	recs := sampleRecords()
+	writeLog(t, path, recs)
+	raw, _ := os.ReadFile(path)
+
+	var enc []byte
+	lastStart := 0
+	for _, r := range recs[:len(recs)-1] {
+		enc = AppendRecord(enc[:0], r)
+		lastStart += len(enc)
+	}
+	// Flip a payload bit of the final record (past its 8-byte frame header).
+	raw[lastStart+frameHeaderSize] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, res := replayAll(t, path, 4)
+	if len(got) != len(recs)-1 || !res.Torn {
+		t.Fatalf("got %d records, torn=%v; want %d records, torn", len(got), res.Torn, len(recs)-1)
+	}
+}
+
+// TestTruncateAndAppend reopens a torn log at its good offset and appends:
+// the new record must replace the torn tail cleanly.
+func TestTruncateAndAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	recs := sampleRecords()
+	writeLog(t, path, recs)
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil { // tear the tail
+		t.Fatal(err)
+	}
+	_, res := replayAll(t, path, 4)
+	if !res.Torn {
+		t.Fatal("expected a torn tail")
+	}
+	w, err := OpenWriter(path, res.GoodOffset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := Record{Op: OpAdd, ID: 9, Row: []float32{7, 7, 7, 7}}
+	if err := w.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, res2 := replayAll(t, path, 4)
+	want := append(append([]Record(nil), recs[:len(recs)-1]...), extra)
+	if !reflect.DeepEqual(got, want) || res2.Torn {
+		t.Fatalf("after truncate+append: got %v (torn=%v), want %v", got, res2.Torn, want)
+	}
+}
+
+// TestOversizedRowRejected pins the allocation bound: a frame advertising a
+// row longer than maxFloats must stop the scan without allocating. The
+// frame's intact (non-zero) payload follows its header, so it reads as
+// corruption, not as a torn tail.
+func TestOversizedRowRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	enc := AppendRecord(nil, Record{Op: OpAdd, ID: 1, Row: make([]float32, 64)})
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Replay(path, 4, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized row: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestZeroFillTornTail covers the filesystem crash artifact a plain
+// truncation cannot: the unsynced tail comes back as zero bytes. Replay
+// must treat the zero-filled region as the torn tail and keep everything
+// before it.
+func TestZeroFillTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	recs := sampleRecords()
+	writeLog(t, path, recs)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, res := replayAll(t, path, 4)
+	if len(got) != len(recs) || !res.Torn {
+		t.Fatalf("zero-filled tail: got %d records, torn=%v; want %d, torn", len(got), res.Torn, len(recs))
+	}
+}
+
+// TestCorruptMidFileErrors pins the loss-prevention rule: a damaged frame
+// with intact frames after it is media corruption, not a crash artifact —
+// silently truncating there would drop the acknowledged records that
+// follow, so Replay must fail loudly instead.
+func TestCorruptMidFileErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	recs := sampleRecords()
+	writeLog(t, path, recs)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[frameHeaderSize+1] ^= 0x04 // damage the first record's payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := Replay(path, 4, func(Record) error { return nil })
+	if !errors.Is(rerr, ErrCorrupt) {
+		t.Fatalf("mid-file corruption: got %v, want ErrCorrupt", rerr)
+	}
+}
+
+// TestStructurallyInvalidRecordErrors pins the corruption/torn distinction:
+// a frame whose checksum verifies but whose payload is invalid must surface
+// ErrCorrupt, not be silently dropped.
+func TestStructurallyInvalidRecordErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	enc := AppendRecord(nil, Record{Op: Op(7), ID: 1}) // bogus op, valid CRC
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Replay(path, 4, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFnErrorAborts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	writeLog(t, path, sampleRecords())
+	boom := errors.New("boom")
+	n := 0
+	res, err := Replay(path, 4, func(Record) error {
+		n++
+		if n == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || res.Records != 1 {
+		t.Fatalf("got err=%v records=%d, want boom after 1 record", err, res.Records)
+	}
+}
+
+// FuzzWALReplay hardens the log parser: arbitrary bytes must replay without
+// panicking or over-allocating, every delivered record must be structurally
+// valid, and — because the encoding is canonical — re-encoding the
+// delivered records must reproduce exactly the consumed prefix of the
+// input.
+func FuzzWALReplay(f *testing.F) {
+	const maxFloats = 8
+	var seed []byte
+	for _, r := range []Record{
+		{Op: OpAdd, ID: 0, Row: []float32{1, 2, 3}},
+		{Op: OpDelete, ID: 0},
+		{Op: OpAdd, ID: 1, Row: make([]float32, maxFloats)},
+	} {
+		seed = AppendRecord(seed, r)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-5])
+	flipped := append([]byte(nil), seed...)
+	flipped[9] ^= 0x10
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5, 6, 7, 8})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var reenc []byte
+		res, err := Replay(path, maxFloats, func(r Record) error {
+			if r.Op != OpAdd && r.Op != OpDelete {
+				t.Fatalf("delivered record with invalid op %d", r.Op)
+			}
+			if r.Op == OpAdd && len(r.Row) > maxFloats {
+				t.Fatalf("delivered row of %d floats, max %d", len(r.Row), maxFloats)
+			}
+			if r.Op == OpDelete && r.Row != nil {
+				t.Fatalf("delete record carries a row")
+			}
+			reenc = AppendRecord(reenc, r)
+			return nil
+		})
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if res.GoodOffset > int64(len(raw)) {
+			t.Fatalf("GoodOffset %d past input length %d", res.GoodOffset, len(raw))
+		}
+		if int64(len(reenc)) != res.GoodOffset || !bytes.Equal(reenc, raw[:res.GoodOffset]) {
+			t.Fatalf("canonical re-encoding diverges from consumed prefix (%d vs %d bytes)", len(reenc), res.GoodOffset)
+		}
+	})
+}

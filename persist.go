@@ -63,17 +63,28 @@ var (
 	magicV3 = [8]byte{'D', 'B', 'L', 'S', 'H', 'v', '3', '\n'}
 )
 
-// crcWriter checksums and counts every byte on its way to w, so WriteTo can
-// report the true number of bytes written instead of re-deriving the layout
-// arithmetic.
+// crcWriter checksums every byte on its way to w.
 type crcWriter struct {
 	w   io.Writer
 	crc uint32
-	n   int64
 }
 
 func (c *crcWriter) Write(p []byte) (int, error) {
 	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+// countWriter counts the bytes the underlying writer actually accepted.
+// WriteTo wraps the caller's writer with it *below* the bufio layer, so the
+// count reflects bytes flushed to the destination — the io.WriterTo
+// contract — not bytes merely parked in the 1 MiB buffer, which on an error
+// path may never reach w at all.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n += int64(n)
 	return n, err
@@ -99,13 +110,14 @@ func (c *crcReader) Read(p []byte) (int, error) {
 // (rows added after the call starts are excluded; tombstones laid while it
 // runs are included best-effort).
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriterSize(w, 1<<20)
+	fw := &countWriter{w: w}
+	bw := bufio.NewWriterSize(fw, 1<<20)
 	cw := &crcWriter{w: bw}
 	cfg := idx.set.Params()
 	nextID := idx.set.NextID()
 
 	if _, err := cw.Write(magicV3[:]); err != nil {
-		return cw.n, fmt.Errorf("dblsh: write header: %w", err)
+		return fw.n, fmt.Errorf("dblsh: write header: %w", err)
 	}
 	hdr := []interface{}{
 		uint32(idx.set.Shards()),
@@ -119,7 +131,7 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	}
 	for _, v := range hdr {
 		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
-			return cw.n, fmt.Errorf("dblsh: write header: %w", err)
+			return fw.n, fmt.Errorf("dblsh: write header: %w", err)
 		}
 	}
 	idim := idx.set.Dim()
@@ -129,16 +141,16 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 		// read lock, and the disk writes below hold no lock at all.
 		part := idx.set.SnapshotShard(s, nextID)
 		if err := binary.Write(cw, binary.LittleEndian, uint64(part.Rows)); err != nil {
-			return cw.n, fmt.Errorf("dblsh: write shard header: %w", err)
+			return fw.n, fmt.Errorf("dblsh: write shard header: %w", err)
 		}
 		if err := binary.Write(cw, binary.LittleEndian, part.R0); err != nil {
-			return cw.n, fmt.Errorf("dblsh: write shard header: %w", err)
+			return fw.n, fmt.Errorf("dblsh: write shard header: %w", err)
 		}
 		var idBuf [8]byte
 		for _, g := range part.Globals {
 			binary.LittleEndian.PutUint64(idBuf[:], uint64(g))
 			if _, err := cw.Write(idBuf[:]); err != nil {
-				return cw.n, fmt.Errorf("dblsh: write id map: %w", err)
+				return fw.n, fmt.Errorf("dblsh: write id map: %w", err)
 			}
 		}
 		bitmap := make([]byte, (part.Rows+7)/8)
@@ -148,7 +160,7 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 		if _, err := cw.Write(bitmap); err != nil {
-			return cw.n, fmt.Errorf("dblsh: write tombstones: %w", err)
+			return fw.n, fmt.Errorf("dblsh: write tombstones: %w", err)
 		}
 		// Vectors row by row through a reused buffer.
 		for i := 0; i < part.Rows; i++ {
@@ -157,22 +169,23 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 				binary.LittleEndian.PutUint32(rowBuf[j*4:], math.Float32bits(f))
 			}
 			if _, err := cw.Write(rowBuf); err != nil {
-				return cw.n, fmt.Errorf("dblsh: write vectors: %w", err)
+				return fw.n, fmt.Errorf("dblsh: write vectors: %w", err)
 			}
 		}
 	}
 	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
-		return cw.n, fmt.Errorf("dblsh: write checksum: %w", err)
+		return fw.n, fmt.Errorf("dblsh: write checksum: %w", err)
 	}
 	if err := bw.Flush(); err != nil {
-		return cw.n, fmt.Errorf("dblsh: flush: %w", err)
+		return fw.n, fmt.Errorf("dblsh: flush: %w", err)
 	}
-	return cw.n + 4, nil // + the CRC trailer, written past the checksummer
+	return fw.n, nil // everything, CRC trailer included, has reached w
 }
 
 // Read deserializes an index previously written with WriteTo, rebuilding the
 // projections and trees deterministically from the stored seed. It accepts
-// both the current v2 format (shard layout and tombstones restored) and
+// the current v3 format (metric state, shard layout and tombstones
+// restored), v2 files (shard layout and tombstones, always Euclidean) and
 // legacy v1 files (single shard, no tombstones).
 func Read(r io.Reader) (*Index, error) {
 	cr := &crcReader{r: bufio.NewReaderSize(r, 1<<20)}

@@ -184,6 +184,49 @@ func TestWriteToSurfacesWriterErrors(t *testing.T) {
 	}
 }
 
+// countingFailWriter accepts up to limit bytes, then errors, and records
+// exactly how many bytes it accepted.
+type countingFailWriter struct {
+	limit    int
+	accepted int
+}
+
+func (w *countingFailWriter) Write(p []byte) (int, error) {
+	if w.accepted+len(p) > w.limit {
+		n := w.limit - w.accepted
+		w.accepted = w.limit
+		return n, errWriteFailed
+	}
+	w.accepted += len(p)
+	return len(p), nil
+}
+
+// TestWriteToReportsFlushedBytes pins the io.WriterTo contract on failure:
+// the returned count must be the bytes the destination actually accepted,
+// not bytes parked in WriteTo's internal 1 MiB buffer that never reached
+// the writer.
+func TestWriteToReportsFlushedBytes(t *testing.T) {
+	idx, _, _ := buildSmall(t)
+	var full bytes.Buffer
+	total, err := idx.WriteTo(&full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != int64(full.Len()) {
+		t.Fatalf("success path reported %d bytes, wrote %d", total, full.Len())
+	}
+	for _, limit := range []int{0, 1, 37, 4096} {
+		w := &countingFailWriter{limit: limit}
+		n, err := idx.WriteTo(w)
+		if err == nil {
+			t.Fatalf("limit %d: expected an error", limit)
+		}
+		if n != int64(w.accepted) {
+			t.Fatalf("limit %d: WriteTo reported %d bytes, destination accepted %d", limit, n, w.accepted)
+		}
+	}
+}
+
 // slowReader returns one byte at a time, exercising partial-read handling in
 // the load path.
 type slowReader struct {

@@ -47,6 +47,14 @@
 // enables automatic background compaction once a shard's tombstoned
 // fraction crosses the threshold.
 //
+// With -pprof ADDR the server exposes Go's net/http/pprof profiling
+// endpoints (/debug/pprof/...) on a separate listener, so CPU and heap
+// profiles can be captured from a loaded server without mixing profiling
+// traffic into the serving port:
+//
+//	dblsh-server -addr :8080 -pprof localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
 // With -metric the demo corpus is indexed under a non-Euclidean metric
 // ("cosine" or "ip"); an -index file or data directory carries its own
 // metric. /stats reports the active metric, search responses carry
@@ -62,6 +70,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -83,8 +92,13 @@ func main() {
 		shards      = flag.Int("shards", 1, "index shards for the demo corpus (an -index file carries its own layout)")
 		compactFrac = flag.Float64("compact-fraction", 0, "auto-compact a shard when its tombstoned fraction reaches this (0 disables)")
 		metricName  = flag.String("metric", "euclidean", "distance metric for the demo corpus: euclidean, cosine or ip (an -index file carries its own metric)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
 	met, err := dblsh.ParseMetric(*metricName)
 	if err != nil {
@@ -135,6 +149,23 @@ func main() {
 	}
 	if err := idx.Close(); err != nil {
 		log.Fatalf("dblsh-server: close index: %v", err)
+	}
+}
+
+// servePprof exposes the net/http/pprof profiling handlers on their own
+// listener, so profiling traffic never shares the serving mux (or its
+// port, which may be exposed) with query traffic. Explicit registration
+// keeps the handlers off http.DefaultServeMux.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("pprof listening on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("dblsh-server: pprof listener: %v", err)
 	}
 }
 

@@ -215,9 +215,11 @@ type searchHit struct {
 }
 
 type queryStats struct {
-	Candidates  int     `json:"candidates"`
-	Rounds      int     `json:"rounds"`
-	FinalRadius float64 `json:"final_radius"`
+	Candidates   int     `json:"candidates"`
+	Rounds       int     `json:"rounds"`
+	FinalRadius  float64 `json:"final_radius"`
+	NodesVisited int     `json:"nodes_visited"`
+	FrontierSize int     `json:"frontier_size"`
 }
 
 type searchResponse struct {
@@ -234,7 +236,13 @@ func toHits(results []dblsh.Result) []searchHit {
 }
 
 func toStats(st dblsh.Stats) *queryStats {
-	return &queryStats{Candidates: st.Candidates, Rounds: st.Rounds, FinalRadius: st.FinalRadius}
+	return &queryStats{
+		Candidates:   st.Candidates,
+		Rounds:       st.Rounds,
+		FinalRadius:  st.FinalRadius,
+		NodesVisited: st.NodesVisited,
+		FrontierSize: st.FrontierSize,
+	}
 }
 
 func (s *server) decodeVector(w http.ResponseWriter, r *http.Request) (searchRequest, bool) {

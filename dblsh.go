@@ -388,6 +388,17 @@ type Stats struct {
 	Rounds int
 	// FinalRadius is the search radius at which the query terminated.
 	FinalRadius float64
+	// NodesVisited counts R*-tree nodes examined by the query's traversal,
+	// across all projected spaces, shards and rounds. The incremental
+	// frontier cursors visit interior nodes at most once per query; only
+	// leaves straddling the growing window boundary are revisited, so this
+	// stays far below rounds × tree size.
+	NodesVisited int
+	// FrontierSize is the number of items still parked in the traversal
+	// cursors when the query finished — the residual work the incremental
+	// ladder never had to touch. (For batch queries the per-query values
+	// are summed, like the other counters.)
+	FrontierSize int
 }
 
 // LastStats reports statistics for the most recent query on this searcher.

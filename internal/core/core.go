@@ -166,7 +166,10 @@ func Build(data *vec.Matrix, cfg Config) *Index {
 
 // estimateInitialRadius picks a starting radius well below the typical
 // nearest-neighbor distance so Algorithm 2's geometric ladder brackets r*.
-// Starting too low only costs a handful of cheap extra rounds.
+// Starting too low only costs a handful of cheap extra rounds. Each sample
+// query verifies its pool through the blocked batch kernel rather than one
+// scalar distance at a time; the id sequence (and therefore the result) is
+// identical to the scalar formulation.
 func estimateInitialRadius(data *vec.Matrix, seed int64) float64 {
 	n := data.Rows()
 	if n < 2 {
@@ -175,22 +178,23 @@ func estimateInitialRadius(data *vec.Matrix, seed int64) float64 {
 	rng := rand.New(rand.NewSource(seed ^ 0x5bf03635))
 	const samples = 24
 	const pool = 512
+	ids := make([]int, 0, pool)
+	dists := make([]float64, pool)
 	best := math.Inf(1)
 	for s := 0; s < samples; s++ {
 		qi := rng.Intn(n)
 		q := data.Row(qi)
-		nn := math.Inf(1)
+		ids = ids[:0]
 		for p := 0; p < pool; p++ {
-			oi := rng.Intn(n)
-			if oi == qi {
-				continue
-			}
-			if d := vec.SquaredDist(q, data.Row(oi)); d < nn {
-				nn = d
+			if oi := rng.Intn(n); oi != qi {
+				ids = append(ids, oi)
 			}
 		}
-		if nn < best {
-			best = nn
+		vec.SquaredDistsTo(q, data, ids, dists[:len(ids)])
+		for _, d := range dists[:len(ids)] {
+			if d < best {
+				best = d
+			}
 		}
 	}
 	r := math.Sqrt(best) / 4
@@ -313,6 +317,18 @@ type Stats struct {
 	Candidates int     // points verified with an exact distance computation
 	Rounds     int     // (r,c)-NN rounds executed
 	FinalR     float64 // radius at termination
+
+	// NodesVisited counts R*-tree nodes examined by the query's traversal,
+	// summed across trees and rounds. Under the incremental cursor ladder
+	// each node is examined at most once per query (plus re-arms); under the
+	// window re-scan oracle every round re-examines the covered region, so
+	// the two modes report very different values for identical results —
+	// this counter is how the difference is measured.
+	NodesVisited int
+	// Frontier is the number of items (subtrees and points) still parked in
+	// the traversal cursors when the query finished — the residual work the
+	// incremental ladder never had to touch. Zero under the re-scan oracle.
+	Frontier int
 }
 
 // QueryParams carries per-query overrides of the knobs Config freezes at
@@ -388,9 +404,9 @@ func (p QueryParams) cancelled() bool {
 }
 
 // Searcher holds per-goroutine query scratch state (visited stamps, the
-// query's L hash vectors, and the candidate block buffers of the batched
-// verification path). Obtain one with NewSearcher; a Searcher must not be
-// used concurrently.
+// query's L hash vectors, the L persistent traversal cursors, and the
+// candidate block buffers of the batched verification path). Obtain one with
+// NewSearcher; a Searcher must not be used concurrently.
 type Searcher struct {
 	idx     *Index
 	visited []uint32
@@ -398,36 +414,102 @@ type Searcher struct {
 	qhash   [][]float32
 	last    Stats
 
-	// Candidate block scratch: ids gathered from the window queries, and
-	// the distances the batch kernel writes for them.
+	// Candidate block scratch: ids gathered from the traversal, and the
+	// distances the batch kernel writes for them. In cursor mode bmeta runs
+	// parallel to bids, recording which cursor surfaced each candidate (and
+	// where in its shell) so an unconsumed candidate can be returned to its
+	// frontier instead of relying on a re-scan to rediscover it.
 	bids   []int
+	bmeta  []blockMeta
 	bdists []float64
+	ebuf   []int32 // cursor emission batch buffer
+
+	// cursors are the L per-tree incremental frontiers of the ladder; Begin
+	// seeds them and each round advances them by one shell, so the query
+	// touches every tree node at most once instead of re-walking the covered
+	// region every round. rescan switches the searcher back to the
+	// root-to-leaf window re-scan of the original Algorithm 2 formulation —
+	// kept alive as the differential oracle the cursor ladder is tested
+	// against, verifying the same candidates in the same order.
+	cursors []*rstar.Cursor
+	rescan  bool
+	rearms  int // cursor re-arms triggered by mid-query tree mutations
+}
+
+// blockMeta locates a gathered candidate in its cursor's current shell:
+// cursors[tree].Unpop(pos) hands it back to the frontier.
+type blockMeta struct {
+	tree int32
+	pos  int32
 }
 
 func newSearcher(idx *Index) *Searcher {
-	qh := make([][]float32, idx.cfg.L)
-	for i := range qh {
-		qh[i] = make([]float32, 0, idx.cfg.K)
-	}
-	return &Searcher{
+	s := &Searcher{
 		idx:     idx,
 		visited: make([]uint32, idx.data.Rows()),
-		qhash:   qh,
+		qhash:   make([][]float32, idx.cfg.L),
 		bids:    make([]int, 0, verifyBlockSize),
+		bmeta:   make([]blockMeta, 0, verifyBlockSize),
 		bdists:  make([]float64, verifyBlockSize),
+		ebuf:    make([]int32, verifyBlockSize),
 	}
+	for i := range s.qhash {
+		s.qhash[i] = make([]float32, 0, idx.cfg.K)
+	}
+	if idx.cfg.Tree.MaxEntries <= 64 {
+		// The cursors' per-leaf bitmasks need MaxEntries ≤ 64 (default 32);
+		// an exotic wider tree falls back to the window re-scan traversal,
+		// which answers identically (see SetWindowRescan).
+		s.cursors = make([]*rstar.Cursor, idx.cfg.L)
+		for i := range s.cursors {
+			s.cursors[i] = rstar.NewCursor(idx.trees[i])
+		}
+	} else {
+		s.rescan = true
+	}
+	return s
 }
 
+// SetWindowRescan switches the searcher between the incremental cursor
+// ladder (the default, on = false) and the per-round window re-scan of the
+// paper's literal Algorithm 2 formulation. The two traversals verify the
+// same candidate set in the same order — re-scan mode exists as the
+// differential oracle the equivalence tests and fuzzers compare against,
+// and as an escape hatch while the cursor path is load-bearing.
+func (s *Searcher) SetWindowRescan(on bool) {
+	if s.cursors == nil {
+		on = true // no cursors to switch to (tree too wide; see newSearcher)
+	}
+	s.rescan = on
+}
+
+// FrontierLen returns the total number of items parked across the
+// searcher's cursors — Stats.Frontier for callers (the shard coordinator)
+// that drive rounds themselves.
+func (s *Searcher) FrontierLen() int {
+	n := 0
+	for _, c := range s.cursors {
+		n += c.FrontierLen()
+	}
+	return n
+}
+
+// CursorReArms returns how many cursor re-arms mid-query tree mutations have
+// forced since the searcher was created. Test hook for the mutate-during-
+// query interleaving.
+func (s *Searcher) CursorReArms() int { return s.rearms }
+
 // verifyBlockSize is the candidate block the verification path gathers
-// before calling the batch distance kernels while the caller's top-k heap
-// is still filling: large enough to amortize the per-block bookkeeping and
-// keep q's cache lines hot across rows. Once the heap is full a stop
-// condition can fire at any flush, and every fresh candidate gathered past
-// the stop is traversal the pre-blocking code never paid (late-round
-// windows are dense with already-visited points, so over-gathering walks
-// far more tree entries than it gathers) — so the gather shrinks to
-// verifyBlockHot, trading a little batching for never over-running a stop
-// by more than a few candidates.
+// before calling the batch distance kernels: large enough to amortize the
+// per-block bookkeeping and keep q's cache lines hot across rows. The
+// cursor ladder always gathers full blocks — a stop mid-block hands the
+// unconsumed candidates back to the frontiers exactly, so over-gathering
+// never costs more than one block of traversal per query. The window
+// re-scan oracle has no hand-back: once the caller's top-k heap is full a
+// stop can fire at any flush, and every fresh candidate gathered past the
+// stop is traversal the pre-blocking code never paid (late-round windows
+// are dense with already-visited points), so there the gather shrinks to
+// verifyBlockHot.
 const (
 	verifyBlockSize = 64
 	verifyBlockHot  = 2
@@ -466,10 +548,18 @@ func (s *Searcher) flushBlock(q []float32, worst func() float64, emit emitFunc) 
 	}
 	n, stop := emit(s.bids, dists)
 	stop = stop || n < len(s.bids)
-	for _, id := range s.bids[n:] {
+	withMeta := len(s.bmeta) == len(s.bids)
+	for k, id := range s.bids[n:] {
 		s.visited[id] = 0
+		if withMeta {
+			// Cursor mode: a re-scan would rediscover the candidate next
+			// round; the frontier has to get it back explicitly.
+			m := s.bmeta[n+k]
+			s.cursors[m.tree].Unpop(int(m.pos))
+		}
 	}
 	s.bids = s.bids[:0]
+	s.bmeta = s.bmeta[:0]
 	return !stop
 }
 
@@ -568,12 +658,7 @@ func (s *Searcher) KANNParams(q []float32, k int, p QueryParams) ([]vec.Neighbor
 		return nil, p.Ctx.Err()
 	}
 
-	s.freshEpoch()
-
-	// Hash the query once per projected space; G_i(q) is radius-independent.
-	for i := 0; i < idx.cfg.L; i++ {
-		s.qhash[i] = idx.family.Compound(i).Hash(s.qhash[i][:0], q)
-	}
+	s.Begin(q)
 
 	t, stopFactor := p.resolve(idx.cfg)
 	cand := vec.NewTopK(k)
@@ -621,6 +706,7 @@ func (s *Searcher) KANNParams(q []float32, k int, p QueryParams) ([]vec.Neighbor
 		}
 		if p.cancelled() {
 			s.last.Candidates = cnt
+			s.finishTraversal()
 			return cand.Results(), p.Ctx.Err()
 		}
 		s.last.Rounds++
@@ -660,25 +746,23 @@ func (s *Searcher) KANNParams(q []float32, k int, p QueryParams) ([]vec.Neighbor
 		}
 	}
 	s.last.Candidates = cnt
+	s.finishTraversal()
 	return cand.Results(), nil
+}
+
+// finishTraversal records the cursors' end-of-query state into the stats.
+func (s *Searcher) finishTraversal() {
+	if !s.rescan {
+		s.last.Frontier = s.FrontierLen()
+	}
 }
 
 // coversAllTrees reports whether a window of width w centred at the query
 // hash would contain the entire bounding box of every tree.
 func (s *Searcher) coversAllTrees(w float64) bool {
 	for i, tr := range s.idx.trees {
-		if tr.Size() == 0 {
-			// An empty tree is trivially covered; its Bounds is the zero
-			// rect at the origin, which would otherwise hold the ladder
-			// open until the window happens to reach the origin.
-			continue
-		}
-		b := tr.Bounds()
-		half := float32(w / 2)
-		for j, ctr := range s.qhash[i] {
-			if b.Min[j] < ctr-half || b.Max[j] > ctr+half {
-				return false
-			}
+		if !tr.Covered(s.qhash[i], w/2) {
+			return false
 		}
 	}
 	return true
@@ -702,15 +786,23 @@ func (s *Searcher) coversAllTrees(w float64) bool {
 // budget exact across the block boundary.
 
 // Begin prepares the searcher for a round-coordinated query: it starts a
-// fresh visited epoch and hashes q into each projected space. Call it once
-// per query before the first RunRound.
+// fresh visited epoch, hashes q into each projected space, and seeds the L
+// traversal cursors at their roots (cursor mode; seeding is O(1) per tree —
+// traversal happens lazily as rounds advance). Call it once per query
+// before the first RunRound.
 func (s *Searcher) Begin(q []float32) {
 	if len(q) != s.idx.data.Dim() {
 		panic(fmt.Sprintf("core: query dim %d, index dim %d", len(q), s.idx.data.Dim()))
 	}
+	s.last = Stats{}
 	s.freshEpoch()
 	for i := 0; i < s.idx.cfg.L; i++ {
 		s.qhash[i] = s.idx.family.Compound(i).Hash(s.qhash[i][:0], q)
+	}
+	if !s.rescan {
+		for i, cur := range s.cursors {
+			cur.Reset(s.qhash[i])
+		}
 	}
 }
 
@@ -725,16 +817,22 @@ func (s *Searcher) ensureStamps() {
 	}
 }
 
-// RunRound executes the L window queries of one (r,c)-NN round: every
-// previously-unvisited, live point inside a query-centric bucket of width
-// w0·r that passes filter is verified in blocks and reported to emit with
-// its exact Euclidean distance — or +Inf for candidates the early-abandon
-// kernel pruned because they provably cannot beat worst() (see flushBlock).
-// worst, when non-nil, should return the caller's current k-th best
-// distance (+Inf while the heap is under capacity). emit (see emitFunc)
-// stops the round mid-block; unconsumed candidates are handed back for
-// later rounds. The caller owns the candidate heap, the budget and the
-// termination test.
+// RunRound executes one (r,c)-NN round: every previously-unvisited, live
+// point inside a query-centric bucket of width w0·r that passes filter is
+// verified in blocks and reported to emit with its exact Euclidean distance
+// — or +Inf for candidates the early-abandon kernel pruned because they
+// provably cannot beat worst() (see flushBlock). worst, when non-nil,
+// should return the caller's current k-th best distance (+Inf while the
+// heap is under capacity). emit (see emitFunc) stops the round mid-block;
+// unconsumed candidates are handed back for later rounds. The caller owns
+// the candidate heap, the budget and the termination test.
+//
+// In the default cursor mode the round advances the L persistent frontiers
+// by one shell instead of re-scanning each window from the root; a tree
+// mutated since the previous round (the shard coordinator releases its lock
+// between rounds, so appends can interleave) is detected by version and its
+// cursor re-armed, so mid-query inserts are picked up exactly as a re-scan
+// would pick them up rather than silently missed.
 func (s *Searcher) RunRound(q []float32, r float64, filter func(int) bool, worst func() float64, emit emitFunc) {
 	s.ensureStamps()
 	s.runWindows(q, r, filter, worst, emit)
@@ -743,13 +841,97 @@ func (s *Searcher) RunRound(q []float32, r float64, filter func(int) bool, worst
 // runWindows is RunRound without the stamp-growth check (KANNParams has
 // already run freshEpoch when it calls this).
 func (s *Searcher) runWindows(q []float32, r float64, filter func(int) bool, worst func() float64, emit emitFunc) {
+	if s.rescan {
+		s.runWindowsRescan(q, r, filter, worst, emit)
+		return
+	}
+	half := s.idx.cfg.W0 * r / 2
+	s.bids = s.bids[:0]
+	s.bmeta = s.bmeta[:0]
+	for i := 0; i < s.idx.cfg.L; i++ {
+		if !s.advanceCursor(i, half, q, filter, worst, emit) {
+			return // stopped: flushBlock already handed back unconsumed work
+		}
+	}
+	s.flushBlock(q, worst, emit)
+}
+
+// advanceCursor widens cursor i's window to Chebyshev half-width half and
+// gathers the newly-exposed shell into the verification block, flushing at
+// full blocks (cursor mode always gathers verifyBlockSize; see
+// blockLimit). A stale cursor (tree mutated since it was seeded) is
+// re-armed first. Returns false when a flush stopped the traversal — the
+// unexamined shell remainder stays in the frontier so later rounds can
+// still surface it.
+func (s *Searcher) advanceCursor(i int, half float64, q []float32, filter func(int) bool, worst func() float64, emit emitFunc) bool {
+	cur := s.cursors[i]
+	if !cur.Synced() {
+		cur.ReArm()
+		s.rearms++
+	}
+	before := cur.NodesVisited()
+	cur.BeginRound(half)
+	base := 0 // emission ordinal of ebuf[0] within this cursor's round
+	stopped := false
+outer:
+	for {
+		m := cur.NextBatch(s.ebuf)
+		if m == 0 {
+			break
+		}
+		for j := 0; j < m; j++ {
+			id := int(s.ebuf[j])
+			if s.visited[id] == s.epoch {
+				continue
+			}
+			s.visited[id] = s.epoch
+			if s.idx.isDeleted(id) {
+				continue
+			}
+			if filter != nil && !filter(id) {
+				continue
+			}
+			s.bids = append(s.bids, id)
+			s.bmeta = append(s.bmeta, blockMeta{tree: int32(i), pos: int32(base + j)})
+			if len(s.bids) >= verifyBlockSize {
+				if !s.flushBlock(q, worst, emit) {
+					// Hand back the batch tail the gather never examined;
+					// flushBlock handed back its own unconsumed candidates.
+					for u := j + 1; u < m; u++ {
+						cur.Unpop(base + u)
+					}
+					stopped = true
+					break outer
+				}
+			}
+		}
+		base += m
+	}
+	if stopped {
+		// The stop ends the query; skip the O(frontier) round teardown.
+		// Were another round driven anyway, the cursor re-arms and the
+		// visited stamps keep the re-walk equivalent to a window re-scan.
+		cur.Abandon()
+	} else {
+		cur.EndRound()
+	}
+	s.last.NodesVisited += cur.NodesVisited() - before
+	return !stopped
+}
+
+// runWindowsRescan is the window re-scan formulation: each round runs every
+// window query root-to-leaf, re-walking the already-covered region and
+// relying on the visited stamps to skip re-verification. Kept as the
+// differential oracle for the cursor ladder (see SetWindowRescan).
+func (s *Searcher) runWindowsRescan(q []float32, r float64, filter func(int) bool, worst func() float64, emit emitFunc) {
 	idx := s.idx
 	s.bids = s.bids[:0]
+	s.bmeta = s.bmeta[:0]
 	aborted := false
 	limit := s.blockLimit(worst)
 	for i := 0; i < idx.cfg.L && !aborted; i++ {
 		w := rstar.WindowRect(s.qhash[i], idx.cfg.W0*r)
-		idx.trees[i].Window(w, func(id int) bool {
+		s.last.NodesVisited += idx.trees[i].WindowVisits(w, func(id int) bool {
 			if s.visited[id] == s.epoch {
 				return true
 			}
@@ -776,9 +958,14 @@ func (s *Searcher) runWindows(q []float32, r float64, filter func(int) bool, wor
 	}
 }
 
-// blockLimit picks the gather size for the next block: full-size while the
-// caller's heap is still filling (worst reports +Inf, no stop can fire),
-// small once it is full (see verifyBlockHot).
+// blockLimit picks the gather size for the re-scan oracle's next block:
+// full-size while the caller's heap is still filling (no stop can fire),
+// verifyBlockHot once it is full — the re-scan has no way to hand back
+// over-gathered candidates, so a stop must not over-run traversal by more
+// than a few entries. The cursor ladder never consults this: it always
+// gathers full blocks, because a stop mid-block hands the unconsumed tail
+// back to the frontiers exactly (see Cursor.Unpop) and over-gathering
+// costs at most one block of traversal once per query.
 func (s *Searcher) blockLimit(worst func() float64) int {
 	if worst != nil && !math.IsInf(worst(), 1) {
 		return verifyBlockHot
@@ -792,7 +979,9 @@ func (s *Searcher) Covers(r float64) bool { return s.coversAllTrees(s.idx.cfg.W0
 
 // Sweep verifies all remaining unvisited live points, for the final
 // full-coverage round, through the first tree (every point appears in every
-// tree, so one suffices). Blocks, worst and emit behave as in RunRound.
+// tree, so one suffices). Blocks, worst and emit behave as in RunRound. In
+// cursor mode the sweep simply drains the first frontier — everything not
+// yet popped — instead of re-walking the whole tree.
 func (s *Searcher) Sweep(q []float32, filter func(int) bool, worst func() float64, emit emitFunc) {
 	idx := s.idx
 	if idx.data.Rows() == 0 {
@@ -800,10 +989,17 @@ func (s *Searcher) Sweep(q []float32, filter func(int) bool, worst func() float6
 	}
 	s.ensureStamps()
 	s.bids = s.bids[:0]
-	tr := idx.trees[0]
-	aborted := false
+	s.bmeta = s.bmeta[:0]
+	if !s.rescan {
+		if s.advanceCursor(0, math.Inf(1), q, filter, worst, emit) {
+			s.flushBlock(q, worst, emit)
+		}
+		return
+	}
 	limit := s.blockLimit(worst)
-	tr.Window(tr.Bounds(), func(id int) bool {
+	aborted := false
+	tr := idx.trees[0]
+	s.last.NodesVisited += tr.WindowVisits(tr.Bounds(), func(id int) bool {
 		if s.visited[id] == s.epoch {
 			return true
 		}
@@ -870,9 +1066,28 @@ func (s *Searcher) RNearParams(q []float32, r float64, p QueryParams) (vec.Neigh
 	c := idx.cfg.C
 	var found vec.Neighbor
 	ok := false
-	for i := 0; i < idx.cfg.L && !ok; i++ {
+	// Verification runs through the blocked batch kernels like the ladder's
+	// rounds: candidates gather into blocks and the budget and the c·r test
+	// apply per candidate in gather order, so the answer is the one the
+	// scalar per-id loop produced. No early-abandon bound applies — the
+	// budget-exhausting candidate is returned with its distance, so every
+	// distance must be exact.
+	emit := func(ids []int, dists []float64) (int, bool) {
+		for j, id := range ids {
+			cnt++
+			if cnt >= budget || dists[j] <= c*r {
+				found, ok = vec.Neighbor{ID: id, Dist: dists[j]}, true
+				return j + 1, true
+			}
+		}
+		return len(ids), false
+	}
+	s.bids = s.bids[:0]
+	s.bmeta = s.bmeta[:0]
+	aborted := false
+	for i := 0; i < idx.cfg.L && !aborted; i++ {
 		w := rstar.WindowRect(s.qhash[i], idx.cfg.W0*r)
-		idx.trees[i].Window(w, func(id int) bool {
+		s.last.NodesVisited += idx.trees[i].WindowVisits(w, func(id int) bool {
 			if s.visited[id] == s.epoch {
 				return true
 			}
@@ -883,14 +1098,22 @@ func (s *Searcher) RNearParams(q []float32, r float64, p QueryParams) (vec.Neigh
 			if p.Filter != nil && !p.Filter(id) {
 				return true
 			}
-			dist := vec.Dist(q, idx.data.Row(id))
-			cnt++
-			if cnt >= budget || dist <= c*r {
-				found, ok = vec.Neighbor{ID: id, Dist: dist}, true
-				return false
+			s.bids = append(s.bids, id)
+			if len(s.bids) >= verifyBlockSize {
+				if !s.flushBlock(q, nil, emit) {
+					aborted = true
+					return false
+				}
 			}
 			return true
 		})
+		// Flush at each tree boundary as well as at full blocks: a
+		// qualifying candidate in an early tree's window must stop the
+		// query before the remaining windows are traversed, matching the
+		// pre-blocking per-id loop's early exit to within one window.
+		if !aborted && !s.flushBlock(q, nil, emit) {
+			aborted = true
+		}
 	}
 	s.last.Candidates = cnt
 	return found, ok, nil

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dblsh/internal/rstar"
+	"dblsh/internal/vec"
+)
+
+// ladderIndex builds a small random index for the differential tests.
+func ladderIndex(seed int64, n, d int) (*Index, *vec.Matrix, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	data := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			data.Row(i)[j] = float32(rng.NormFloat64() * 8)
+		}
+	}
+	idx := Build(data, Config{C: 1.5, K: 5, L: 3, T: 12, Seed: seed})
+	return idx, data, rng
+}
+
+// diffOneQuery runs one (c,k)-ANN query through both traversals and fails
+// if anything observable differs: ids, distances, candidate count, round
+// count, final radius, or the returned error.
+func diffOneQuery(t *testing.T, idx *Index, q []float32, k int, p QueryParams) {
+	t.Helper()
+	cs := idx.NewSearcher()
+	rs := idx.NewSearcher()
+	rs.SetWindowRescan(true)
+
+	got, gerr := cs.KANNParams(q, k, p)
+	want, werr := rs.KANNParams(q, k, p)
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("error mismatch: cursor %v, rescan %v", gerr, werr)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("result count mismatch: cursor %d, rescan %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].Dist != want[i].Dist {
+			t.Fatalf("result %d mismatch: cursor %+v, rescan %+v", i, got[i], want[i])
+		}
+	}
+	gst, wst := cs.LastStats(), rs.LastStats()
+	if gst.Candidates != wst.Candidates {
+		t.Fatalf("candidate count mismatch: cursor %d, rescan %d", gst.Candidates, wst.Candidates)
+	}
+	if gst.Rounds != wst.Rounds {
+		t.Fatalf("round count mismatch: cursor %d, rescan %d", gst.Rounds, wst.Rounds)
+	}
+	if gst.FinalR != wst.FinalR {
+		t.Fatalf("final radius mismatch: cursor %v, rescan %v", gst.FinalR, wst.FinalR)
+	}
+}
+
+// TestLadderEquivalence is the differential property test of the
+// traversal rework: across random datasets, ks, filters, deletes and
+// per-query overrides, the cursor ladder must answer every query exactly
+// like the window re-scan ladder — same neighbors, same distances, same
+// candidate and round counts.
+func TestLadderEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		n := 150 + int(seed%5)*80
+		idx, data, rng := ladderIndex(seed, n, 6)
+
+		// A random subset of deletes.
+		for i := 0; i < n/10; i++ {
+			idx.Delete(rng.Intn(n))
+		}
+
+		for trial := 0; trial < 4; trial++ {
+			q := make([]float32, data.Dim())
+			for j := range q {
+				q[j] = float32(rng.NormFloat64() * 8)
+			}
+			k := 1 + rng.Intn(20)
+			var p QueryParams
+			switch trial {
+			case 1:
+				p.T = 1 + rng.Intn(5) // tight budget: mid-block stops
+			case 2:
+				mod := 2 + rng.Intn(3)
+				p.Filter = func(id int) bool { return id%mod == 0 }
+			case 3:
+				p.EarlyStopFactor = 1 + rng.Float64()*2
+				p.MaxRadius = 0.5 + rng.Float64()*20
+			}
+			diffOneQuery(t, idx, q, k, p)
+		}
+	}
+}
+
+// TestLadderEquivalenceSelfQueries hits the exact-match path (distance 0
+// candidates, immediate termination tests) which stresses stop handling
+// at block boundaries.
+func TestLadderEquivalenceSelfQueries(t *testing.T) {
+	idx, data, _ := ladderIndex(42, 300, 5)
+	for i := 0; i < 25; i++ {
+		diffOneQuery(t, idx, data.Row(i*7%300), 1+i%10, QueryParams{})
+	}
+}
+
+// TestRNearEquivalentToScalarContract checks the blocked RNear path still
+// honors Algorithm 1's contract on random instances (the scalar loop it
+// replaced is gone; the property is the observable anchor).
+func TestRNearBlockedContract(t *testing.T) {
+	idx, data, rng := ladderIndex(77, 250, 5)
+	s := idx.NewSearcher()
+	for trial := 0; trial < 40; trial++ {
+		q := make([]float32, data.Dim())
+		for j := range q {
+			q[j] = float32(rng.NormFloat64() * 8)
+		}
+		r := 0.5 + rng.Float64()*10
+		nb, ok := s.RNear(q, r)
+		if !ok {
+			continue
+		}
+		budget := 2*idx.cfg.T*idx.cfg.L + 1
+		if s.LastStats().Candidates < budget && nb.Dist > idx.cfg.C*r+1e-9 {
+			t.Fatalf("RNear returned %v beyond c·r = %v without exhausting budget", nb.Dist, idx.cfg.C*r)
+		}
+		if vec.Dist(q, data.Row(nb.ID)) != nb.Dist {
+			t.Fatalf("RNear distance %v is not the true distance", nb.Dist)
+		}
+	}
+}
+
+// TestCursorReArmMidQuery pins the mutate-during-query contract
+// deterministically: a round-coordinated query paused between rounds (the
+// shard coordinator's interleaving) observes points inserted in the pause
+// through the explicit re-arm path, exactly as the window re-scan would.
+func TestCursorReArmMidQuery(t *testing.T) {
+	idx, data, _ := ladderIndex(5, 200, 4)
+	q := make([]float32, data.Dim()) // query at the origin
+
+	run := func(s *Searcher, r float64, seen map[int]bool) {
+		emit := func(ids []int, dists []float64) (int, bool) {
+			for _, id := range ids {
+				seen[id] = true
+			}
+			return len(ids), false
+		}
+		s.RunRound(q, r, nil, nil, emit)
+	}
+
+	cs := idx.NewSearcher()
+	rs := idx.NewSearcher()
+	rs.SetWindowRescan(true)
+	cseen := map[int]bool{}
+	rseen := map[int]bool{}
+	cs.Begin(q)
+	rs.Begin(q)
+	run(cs, 1.0, cseen)
+	run(rs, 1.0, rseen)
+
+	// Pause: a point lands exactly at the query. Both traversals must pick
+	// it up in the next round.
+	newID := idx.Insert(make([]float32, data.Dim()))
+	if cs.CursorReArms() != 0 {
+		t.Fatal("cursor re-armed before any mutation")
+	}
+	run(cs, 2.0, cseen)
+	run(rs, 2.0, rseen)
+	if cs.CursorReArms() != idx.cfg.L {
+		t.Fatalf("expected %d cursor re-arms (one per tree), got %d", idx.cfg.L, cs.CursorReArms())
+	}
+	if !cseen[newID] {
+		t.Fatal("cursor ladder missed the point inserted mid-query")
+	}
+	if !rseen[newID] {
+		t.Fatal("re-scan ladder missed the point inserted mid-query")
+	}
+	if len(cseen) != len(rseen) {
+		t.Fatalf("traversals diverged after mid-query insert: cursor saw %d, re-scan %d", len(cseen), len(rseen))
+	}
+	for id := range rseen {
+		if !cseen[id] {
+			t.Fatalf("cursor ladder missed id %d the re-scan reported", id)
+		}
+	}
+}
+
+// TestTraversalZeroAllocs pins the pooling contract: once warm, the
+// round-coordinated traversal (Begin + RunRound + Covers + Sweep)
+// allocates nothing per query.
+func TestTraversalZeroAllocs(t *testing.T) {
+	idx, data, _ := ladderIndex(3, 2000, 6)
+	s := idx.NewSearcher()
+	q := data.Row(1)
+	emit := func(ids []int, dists []float64) (int, bool) { return len(ids), false }
+	worst := func() float64 { return math.Inf(1) }
+	query := func() {
+		s.Begin(q)
+		r := idx.InitialRadius()
+		for round := 0; round < 6; round++ {
+			s.RunRound(q, r, nil, worst, emit)
+			if s.Covers(r) {
+				break
+			}
+			r *= idx.cfg.C
+		}
+		s.Sweep(q, nil, worst, emit)
+	}
+	query() // warm buffers
+	if allocs := testing.AllocsPerRun(50, query); allocs != 0 {
+		t.Fatalf("traversal allocates %v times per query, want 0", allocs)
+	}
+}
+
+// TestWideTreeFallsBackToRescan covers the exotic configuration the
+// cursor bitmasks cannot represent (MaxEntries > 64): the searcher must
+// silently run the window re-scan and still answer correctly.
+func TestWideTreeFallsBackToRescan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := vec.NewMatrix(300, 5)
+	for i := 0; i < 300; i++ {
+		for j := 0; j < 5; j++ {
+			data.Row(i)[j] = float32(rng.NormFloat64() * 8)
+		}
+	}
+	idx := Build(data, Config{C: 1.5, K: 4, L: 2, T: 20, Seed: 2, Tree: rstar.Options{MaxEntries: 128}})
+	s := idx.NewSearcher()
+	s.SetWindowRescan(false) // must be a no-op: there are no cursors
+	res := s.KANN(data.Row(3), 5)
+	if len(res) != 5 || res[0].ID != 3 || res[0].Dist != 0 {
+		t.Fatalf("wide-tree fallback broken: %+v", res)
+	}
+}
+
+// FuzzLadderEquivalence drives the cursor/re-scan differential with
+// fuzzer-chosen datasets, queries, k, budgets, filters and deletes.
+func FuzzLadderEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(0), uint8(0), false)
+	f.Add(int64(7), uint8(1), uint8(3), uint8(2), true)
+	f.Add(int64(99), uint8(20), uint8(1), uint8(7), false)
+	f.Fuzz(func(t *testing.T, seed int64, kRaw, tRaw, delRaw uint8, filter bool) {
+		n := 120
+		idx, data, rng := ladderIndex(seed, n, 4)
+		for i := 0; i < int(delRaw)%40; i++ {
+			idx.Delete(rng.Intn(n))
+		}
+		q := make([]float32, data.Dim())
+		for j := range q {
+			q[j] = float32(rng.NormFloat64() * 8)
+		}
+		p := QueryParams{T: int(tRaw) % 8}
+		if filter {
+			p.Filter = func(id int) bool { return id%3 != 1 }
+		}
+		k := 1 + int(kRaw)%25
+		diffOneQuery(t, idx, q, k, p)
+	})
+}

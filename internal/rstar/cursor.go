@@ -1,0 +1,485 @@
+package rstar
+
+import "math/bits"
+
+// Cursor is a persistent incremental frontier over one tree for one query
+// center. DB-LSH's radius ladder runs the same window query W(G(q), w0·r)
+// at geometrically growing widths; re-running each window from the root
+// re-walks the entire already-covered region every round — re-testing
+// every covered point against the window — just to find the thin
+// newly-exposed shell. A Cursor instead keeps the not-yet-exhausted
+// remainder of the tree as a frontier: a depth-first-ordered list of
+// subtrees, each carrying an activation threshold (a certain lower bound
+// on the window half-width that could surface anything new from it) and,
+// for leaves, a bitmask of already-reported entries. Each round walks the
+// list; an item below its threshold costs one float compare, an interior
+// node is entered at most once per query, a reported point is never
+// re-examined (its mask bit skips it), and only the leaves straddling the
+// window boundary are re-scanned — against their cache-contiguous
+// coordinate mirrors, axis-of-last-exclusion first, so a re-test usually
+// costs one compare too.
+//
+// Equivalence with Window: a round at half-width half uses the exact
+// float32 window rectangle WindowRect(center, 2·half) builds — descent
+// prunes by the same Intersects comparisons, membership by the same
+// Contains comparisons — and the frontier list is maintained in
+// depth-first tree order, so a round's emissions stream in exactly the
+// order a Window re-scan over the same rectangle would visit them, except
+// that already-reported points are not re-reported. Callers deduplicate
+// re-reports with a visited set anyway (the re-scan ladder relies on it),
+// so the caller-observable candidate stream of a ladder of rounds is
+// identical to the window re-scan ladder's, point for point and in order —
+// the property the query layer's differential tests pin down. Emission is
+// pull-based and batched (NextBatch), so a caller that stops mid-round
+// pays nothing for the part of the window it never asked for, exactly
+// like an aborted re-scan.
+//
+// A round is: BeginRound(half), then NextBatch until it reports 0 or the
+// caller decides to stop, then EndRound — or Abandon when the query is
+// over and the frontier's future is irrelevant.
+//
+// A Cursor pins the tree's node graph as of its last Reset/ReArm. Inserts
+// rearrange nodes (splits, forced reinsertion), so after any mutation the
+// cursor must be re-armed before the next round: Synced reports staleness
+// and ReArm re-seeds the frontier at the root, after which the next round
+// re-reports everything inside its window — including points inserted
+// since the original seed — and the caller's visited set restores
+// incrementality. Cursors are not safe for concurrent use.
+type Cursor struct {
+	t      *Tree
+	center []float32
+	k      int       // len(center)
+	h      float32   // current round's half-width, as the window rect rounds it
+	wlo    []float32 // current round's window bounds, exactly as WindowRect
+	whi    []float32 // would build them: center[d] ∓ h in float32
+
+	cur   []cItem // the frontier, in depth-first tree order
+	next  []cItem // the frontier being rebuilt by the current round's walk
+	stack []frame // in-progress descents of the current round
+	pos   int     // walk position in cur
+
+	// Emission log of the current round, for Unpop. Valid until the next
+	// BeginRound/Reset/ReArm.
+	emitted  []emitRec
+	returned []int32 // ascending emission ordinals handed back by Unpop
+
+	version   uint64 // tree version the frontier was seeded against
+	nodes     int    // nodes entered since Reset/ReArm
+	abandoned bool   // round discarded mid-walk; frontier no longer coherent
+}
+
+// cItem is one frontier element: a subtree the rounds so far have not
+// exhausted. For leaves, mask bit j set means entry j has been reported.
+// thresh is a certain lower bound on the half-width at which the subtree
+// could surface anything new — the window-rectangle gap of the MBR's last
+// failing axis (dim, where the next test resumes), or the smallest gap
+// over a scanned leaf's unreported entries (dim == k: the MBR is known to
+// be reached, only entries need re-testing). The bound is an accelerator
+// only; everything observable is decided by the genuine window-rectangle
+// comparisons.
+type cItem struct {
+	n      *node
+	thresh float32
+	dim    uint16
+	mask   uint64
+}
+
+// frame is one level of an in-progress descent. Internal nodes walk
+// children by idx. Leaves walk their unreported entries through rem (the
+// complement of mask, consumed bit by bit in ascending — depth-first —
+// order), fold the smallest failing-entry gap into minLB, and remember at
+// pos where in the frontier the leaf parks (or would splice back into).
+// hint is the axis that most recently excluded something here: the next
+// exclusion almost always happens on the same axis, so tests start there
+// and usually exit after one compare. contained records that the window
+// contains the node's whole MBR — every unreported point below is a
+// member with no per-point test at all.
+type frame struct {
+	n         *node
+	idx       int
+	rem       uint64
+	mask      uint64
+	minLB     float32
+	hint      int
+	pos       int32
+	contained bool
+}
+
+// emitRec records one emission: the leaf, the entry's index within it,
+// and the leaf's frontier position, so Unpop can clear the mask bit — in
+// place if the leaf survived, through a splice if it was dropped.
+type emitRec struct {
+	n   *node
+	pos int32
+	idx uint16
+}
+
+const maxFloat32 = 3.4028234663852886e38
+
+// fullMask returns the mask with the low n bits set (n ≤ 64).
+func fullMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// NewCursor returns an unseeded cursor over t. The cursor requires the
+// tree's node capacity to fit the per-leaf bitmask (MaxEntries ≤ 64, far
+// above the default of 32). Call Reset with a query center before the
+// first round.
+func NewCursor(t *Tree) *Cursor {
+	if t.opts.MaxEntries > 64 {
+		panic("rstar: cursor requires MaxEntries ≤ 64")
+	}
+	return &Cursor{t: t}
+}
+
+// Reset seeds the frontier for a new query center, discarding all prior
+// state. It is O(1) plus the center copy: traversal happens lazily as
+// rounds advance. The cursor reuses its internal buffers, so steady-state
+// queries through a pooled searcher allocate nothing.
+func (c *Cursor) Reset(center []float32) {
+	c.center = append(c.center[:0], center...)
+	c.k = len(center)
+	c.seed()
+}
+
+// seed arms the frontier at the root against the tree's current version.
+func (c *Cursor) seed() {
+	c.cur = c.cur[:0]
+	c.next = c.next[:0]
+	c.stack = c.stack[:0]
+	c.emitted = c.emitted[:0]
+	c.returned = c.returned[:0]
+	c.pos = 0
+	c.nodes = 0
+	c.version = c.t.version
+	c.abandoned = false
+	if c.t.size == 0 {
+		return
+	}
+	c.cur = append(c.cur, cItem{n: c.t.root})
+}
+
+// Synced reports whether the frontier is still coherent: the tree is
+// structurally unchanged since it was seeded and no round was abandoned
+// mid-walk. A false return means the caller must ReArm before the next
+// round.
+func (c *Cursor) Synced() bool { return c.version == c.t.version && !c.abandoned }
+
+// ReArm re-seeds the frontier at the root for the same center — the
+// explicit recovery primitive for mutations that land mid-query.
+func (c *Cursor) ReArm() { c.seed() }
+
+// BeginRound opens a round over the window of half-width half centred at
+// the cursor's center — the float32 rectangle WindowRect(center, 2·half)
+// builds. Subsequent NextBatch calls stream the window's not-yet-reported
+// points in depth-first tree order. Entries handed back by Unpop since the
+// previous round rejoin the frontier here.
+func (c *Cursor) BeginRound(half float64) {
+	c.mergeReturned()
+	h := float32(half)
+	c.h = h
+	c.wlo = c.wlo[:0]
+	c.whi = c.whi[:0]
+	for _, v := range c.center {
+		c.wlo = append(c.wlo, v-h)
+		c.whi = append(c.whi, v+h)
+	}
+	c.pos = 0
+}
+
+// NextBatch fills buf with the next not-yet-reported points inside the
+// current round's window, in depth-first tree order, and returns how many
+// it wrote. Zero means the round is exhausted. The walk is lazy: stopping
+// early (calling EndRound or Abandon without draining) costs nothing for
+// the unseen remainder, and a caller that consumed too far hands the
+// excess back with Unpop.
+func (c *Cursor) NextBatch(buf []int32) int {
+	out := 0
+	for {
+		// The descent stack holds subtrees the walk has entered but not
+		// finished; their remaining items precede everything at cur[pos:].
+		for len(c.stack) > 0 {
+			f := &c.stack[len(c.stack)-1]
+			n := f.n
+			if n.leaf {
+				for f.rem != 0 {
+					j := bits.TrailingZeros64(f.rem)
+					bit := uint64(1) << uint(j)
+					f.rem &^= bit
+					if !f.contained {
+						// Window membership, hint axis first, against the
+						// leaf's contiguous coordinate block — the single
+						// hottest loop of the traversal.
+						p := n.coords[j*c.k : j*c.k+c.k]
+						d := f.hint
+						in := true
+						for t := 0; t < c.k; t++ {
+							if v := p[d]; v < c.wlo[d] || v > c.whi[d] {
+								in = false
+								break
+							}
+							d++
+							if d == c.k {
+								d = 0
+							}
+						}
+						if !in {
+							f.hint = d
+							var lb float32
+							if p[d] > c.whi[d] {
+								lb = activationLB(p[d]-c.center[d], p[d])
+							} else {
+								lb = activationLB(c.center[d]-p[d], p[d])
+							}
+							if lb < f.minLB {
+								f.minLB = lb
+							}
+							continue
+						}
+					}
+					f.mask |= bit
+					c.emitted = append(c.emitted, emitRec{n: n, pos: f.pos, idx: uint16(j)})
+					buf[out] = n.ids[j]
+					out++
+					if out == len(buf) {
+						return out
+					}
+				}
+				// Leaf exhausted for this round: drop it once every entry
+				// has been reported, else park it with the smallest gap
+				// its unreported entries need.
+				if f.mask != fullMask(len(n.ids)) {
+					c.next = append(c.next, cItem{n: n, thresh: f.minLB, dim: uint16(c.k), mask: f.mask})
+				}
+				c.stack = c.stack[:len(c.stack)-1]
+				continue
+			}
+			if f.idx >= len(n.children) {
+				c.stack = c.stack[:len(c.stack)-1]
+				continue
+			}
+			ch := n.children[f.idx]
+			f.idx++
+			if f.contained {
+				c.pushFrame(cItem{n: ch}, true)
+				continue
+			}
+			d, lb, in := c.reaches(ch.rect.Min, ch.rect.Max, f.hint)
+			if in {
+				c.pushFrame(cItem{n: ch}, c.contains(ch.rect))
+			} else {
+				f.hint = int(d)
+				c.next = append(c.next, cItem{n: ch, thresh: lb, dim: d})
+			}
+		}
+		if c.pos >= len(c.cur) {
+			return out
+		}
+		it := c.cur[c.pos]
+		c.pos++
+		if it.thresh > c.h {
+			c.next = append(c.next, it) // certainly out of reach: one compare
+			continue
+		}
+		if int(it.dim) < c.k {
+			// The MBR's reach is not yet established: resume its window
+			// test at the last failing axis.
+			d, lb, in := c.reaches(it.n.rect.Min, it.n.rect.Max, int(it.dim))
+			if !in {
+				it.thresh, it.dim = lb, d
+				c.next = append(c.next, it)
+				continue
+			}
+		}
+		c.pushFrame(it, c.contains(it.n.rect))
+	}
+}
+
+// pushFrame enters a subtree: interior nodes walk children, leaves walk
+// their unreported entries.
+func (c *Cursor) pushFrame(it cItem, contained bool) {
+	c.nodes++
+	f := frame{
+		n:         it.n,
+		mask:      it.mask,
+		minLB:     maxFloat32,
+		hint:      int(it.dim) % c.k,
+		pos:       int32(len(c.next)),
+		contained: contained,
+	}
+	if it.n.leaf {
+		f.rem = fullMask(len(it.n.ids)) &^ it.mask
+	}
+	c.stack = append(c.stack, f)
+}
+
+// reaches reports whether the current round's window reaches the box
+// [lo, hi] on every axis — exactly Rect.Intersects against the round's
+// window rectangle, comparison for comparison (the axes are scanned
+// starting at hint and wrapping, which changes nothing about the
+// conjunction but lets the caller aim at the axis most likely to
+// exclude). On failure it returns the failing axis and a certain lower
+// bound on the half-width any window needs to pass that axis.
+func (c *Cursor) reaches(lo, hi []float32, hint int) (uint16, float32, bool) {
+	d := hint
+	if d >= c.k {
+		d = 0
+	}
+	for j := 0; j < c.k; j++ {
+		if lo[d] > c.whi[d] {
+			return uint16(d), activationLB(lo[d]-c.center[d], lo[d]), false
+		}
+		if hi[d] < c.wlo[d] {
+			return uint16(d), activationLB(c.center[d]-hi[d], hi[d]), false
+		}
+		d++
+		if d == c.k {
+			d = 0
+		}
+	}
+	return uint16(c.k), 0, true
+}
+
+// contains reports whether the current round's window contains the whole
+// rectangle — every point inside it is then a window member by
+// construction, with no per-point test needed.
+func (c *Cursor) contains(r Rect) bool {
+	for d := 0; d < c.k; d++ {
+		if r.Min[d] < c.wlo[d] || r.Max[d] > c.whi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// activationLB returns a half-width certainly below every h whose window
+// crosses an axis gap of t (computed in float32 between the item bound m
+// and the center): the true crossover is within a couple of ulps of t —
+// one from the gap subtraction, one from the window-bound rounding at the
+// magnitude of m — so shaving two ulps of both scales (plus a denormal
+// guard) is safe. The bound only defers the next real window test; it
+// never decides reachability.
+func activationLB(t, m float32) float32 {
+	if m < 0 {
+		m = -m
+	}
+	const eps = 2.4e-7 // 2 × 2⁻²³
+	g := t - (t+m)*eps - 3e-44
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// EndRound closes the current round, whether drained or abandoned early:
+// in-progress descents unwind into the frontier (their unexamined
+// remainders, in depth-first order) followed by the unexamined tail of
+// the old frontier, so an early stop leaves every unreported point
+// discoverable by the next round — exactly the state an aborted window
+// re-scan leaves.
+func (c *Cursor) EndRound() {
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		f := c.stack[i]
+		if f.n.leaf {
+			// Unexamined entries remain (rem); entries that failed this
+			// round's test stay unreported too. Re-test everything
+			// unreported next round.
+			if f.mask != fullMask(len(f.n.ids)) {
+				c.next = append(c.next, cItem{n: f.n, dim: uint16(c.k), mask: f.mask})
+			}
+			continue
+		}
+		for _, ch := range f.n.children[f.idx:] {
+			c.next = append(c.next, cItem{n: ch})
+		}
+	}
+	c.stack = c.stack[:0]
+	c.next = append(c.next, c.cur[c.pos:]...)
+	c.cur, c.next = c.next, c.cur[:0]
+	c.pos = len(c.cur) // no further NextBatch until BeginRound
+}
+
+// Abandon discards the current round without rebuilding the frontier — the
+// O(1) exit for a query that stops mid-round and will not advance this
+// cursor again. It leaves the frontier incoherent, so Synced reports false
+// and the next round (if any caller does continue) re-arms from the root,
+// which the caller's visited set absorbs exactly like a mutation re-arm.
+func (c *Cursor) Abandon() {
+	c.stack = c.stack[:0]
+	c.emitted = c.emitted[:0]
+	c.returned = c.returned[:0]
+	c.abandoned = true
+	c.pos = len(c.cur) // no further NextBatch
+}
+
+// Unpop hands the i-th point emitted by the current round (0-based
+// emission ordinal) back to the frontier; a later round reports it again,
+// at its depth-first position. The query layer uses it for candidates
+// that were gathered into a verification block but not consumed before a
+// stop condition fired: those must remain discoverable, exactly as an
+// aborted window re-scan leaves them unvisited. Valid until the next
+// BeginRound/Reset/ReArm; each ordinal at most once.
+func (c *Cursor) Unpop(i int) { c.returned = append(c.returned, int32(i)) }
+
+// mergeReturned reconciles the entries handed back by Unpop with the
+// frontier, in one pass over both (returned ordinals are ascending, so
+// their frontier positions are non-decreasing): an entry whose leaf is
+// still on the frontier gets its mask bit cleared in place — the leaf's
+// next scan re-reports it, at its depth-first position among the leaf's
+// entries — and an entry whose leaf was dropped as fully reported has the
+// leaf spliced back in at its old position with exactly the handed-back
+// bits clear.
+func (c *Cursor) mergeReturned() {
+	if len(c.returned) == 0 {
+		c.emitted = c.emitted[:0]
+		return
+	}
+	out := c.next[:0]
+	prev := 0
+	for gi := 0; gi < len(c.returned); {
+		first := c.emitted[c.returned[gi]]
+		p, n := int(first.pos), first.n
+		var clear uint64
+		for gi < len(c.returned) {
+			rec := c.emitted[c.returned[gi]]
+			if int(rec.pos) != p || rec.n != n {
+				break
+			}
+			clear |= uint64(1) << uint(rec.idx)
+			gi++
+		}
+		out = append(out, c.cur[prev:p]...)
+		if p < len(c.cur) && c.cur[p].n == n {
+			it := c.cur[p]
+			it.mask &^= clear
+			it.thresh = 0 // the cleared entries are in-window already
+			out = append(out, it)
+			prev = p + 1
+		} else {
+			out = append(out, cItem{n: n, dim: uint16(c.k), mask: fullMask(len(n.ids)) &^ clear})
+			prev = p
+		}
+	}
+	out = append(out, c.cur[prev:]...)
+	c.cur, c.next = out, c.cur[:0]
+	c.emitted = c.emitted[:0]
+	c.returned = c.returned[:0]
+}
+
+// FrontierLen returns the number of frontier items (parked subtrees), the
+// residual-traversal gauge surfaced in query statistics. Meaningful
+// between rounds.
+func (c *Cursor) FrontierLen() int { return len(c.cur) }
+
+// NodesVisited returns the number of node visits since Reset/ReArm.
+// Interior nodes are visited once per query; leaves straddling the window
+// boundary are revisited once per round until every entry is reported.
+func (c *Cursor) NodesVisited() int { return c.nodes }
+
+// Exhausted reports whether the frontier is empty: every indexed point
+// has been reported by some completed round (and none handed back).
+// Meaningful between rounds.
+func (c *Cursor) Exhausted() bool { return len(c.cur) == 0 && len(c.returned) == 0 }

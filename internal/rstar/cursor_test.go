@@ -1,0 +1,290 @@
+package rstar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dblsh/internal/vec"
+)
+
+// cursorTree builds a random tree for cursor tests: n points in dim
+// dimensions, bulk-loaded, plus extra inserted points when insert > 0.
+func cursorTree(t *testing.T, seed int64, n, dim, insert int) (*Tree, *vec.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		for j := 0; j < dim; j++ {
+			m.Row(i)[j] = float32(rng.NormFloat64() * 10)
+		}
+	}
+	tr := BulkLoad(m, Options{})
+	for i := 0; i < insert; i++ {
+		p := make([]float32, dim)
+		for j := range p {
+			p[j] = float32(rng.NormFloat64() * 10)
+		}
+		tr.Insert(m.Append(p))
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants: %s", msg)
+	}
+	return tr, m
+}
+
+// drainRound pulls a whole round out of the cursor through NextBatch.
+func drainRound(c *Cursor, half float64) []int32 {
+	c.BeginRound(half)
+	var out []int32
+	buf := make([]int32, 7) // odd size: exercises batch-boundary resume
+	for {
+		m := c.NextBatch(buf)
+		if m == 0 {
+			break
+		}
+		out = append(out, buf[:m]...)
+	}
+	c.EndRound()
+	return out
+}
+
+// oracleRound runs the same round as a Window re-scan, returning the
+// depth-first ordered ids the cursor should newly report: window members
+// not in reported.
+func oracleRound(tr *Tree, center []float32, half float64, reported map[int32]bool) []int32 {
+	w := WindowRect(center, 2*half)
+	var out []int32
+	tr.Window(w, func(id int) bool {
+		if !reported[int32(id)] {
+			out = append(out, int32(id))
+		}
+		return true
+	})
+	return out
+}
+
+// TestCursorLadderMatchesWindowRescan is the rstar-level differential
+// test: across random trees, centers and geometric half-width ladders,
+// every round's cursor emissions must equal the window re-scan's
+// unreported members, id for id and in depth-first order.
+func TestCursorLadderMatchesWindowRescan(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		tr, m := cursorTree(t, seed, 300+int(seed)*50, 4, 0)
+		rng := rand.New(rand.NewSource(seed ^ 0x9e37))
+		center := make([]float32, m.Dim())
+		for j := range center {
+			center[j] = float32(rng.NormFloat64() * 10)
+		}
+		cur := NewCursor(tr)
+		cur.Reset(center)
+		reported := map[int32]bool{}
+		half := 0.5
+		for round := 0; round < 14; round++ {
+			want := oracleRound(tr, center, half, reported)
+			got := drainRound(cur, half)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d round %d: cursor emitted %d, window re-scan %d", seed, round, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d round %d: emission %d = %d, want %d (order mismatch)", seed, round, i, got[i], want[i])
+				}
+				reported[got[i]] = true
+			}
+			half *= 1.5
+		}
+		if !cur.Exhausted() && len(reported) == tr.Size() {
+			t.Fatalf("seed %d: all points reported but frontier not exhausted", seed)
+		}
+	}
+}
+
+// TestCursorUnpopRediscovery hands back a suffix of a round's emissions
+// and checks the next round re-reports exactly those points, in the
+// oracle's depth-first order.
+func TestCursorUnpopRediscovery(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		tr, m := cursorTree(t, seed, 400, 4, 0)
+		rng := rand.New(rand.NewSource(seed ^ 0x51))
+		center := make([]float32, m.Dim())
+		for j := range center {
+			center[j] = float32(rng.NormFloat64() * 10)
+		}
+		cur := NewCursor(tr)
+		cur.Reset(center)
+		reported := map[int32]bool{}
+
+		half := 2.0
+		got := drainRound(cur, half)
+		if len(got) < 4 {
+			continue // window too small to exercise the hand-back
+		}
+		// Consume a prefix; hand back the rest (as a stop mid-round would).
+		cut := len(got) / 2
+		for _, id := range got[:cut] {
+			reported[id] = true
+		}
+		for i := cut; i < len(got); i++ {
+			cur.Unpop(i)
+		}
+
+		want := oracleRound(tr, center, half*1.5, reported)
+		next := drainRound(cur, half*1.5)
+		if len(next) != len(want) {
+			t.Fatalf("seed %d: after unpop got %d emissions, want %d", seed, len(next), len(want))
+		}
+		for i := range next {
+			if next[i] != want[i] {
+				t.Fatalf("seed %d: emission %d = %d, want %d after unpop", seed, i, next[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCursorReArmOnInsert checks the mutation contract: an Insert makes
+// the cursor stale, ReArm re-seeds it, and the following round reports
+// the new point (and everything else unreported) exactly like a re-scan.
+func TestCursorReArmOnInsert(t *testing.T) {
+	tr, m := cursorTree(t, 7, 500, 4, 0)
+	cur := NewCursor(tr)
+	center := make([]float32, m.Dim())
+	cur.Reset(center)
+
+	reported := map[int32]bool{}
+	for _, id := range drainRound(cur, 5) {
+		reported[id] = true
+	}
+	if !cur.Synced() {
+		t.Fatal("cursor stale before any mutation")
+	}
+
+	// Insert a point right at the center: the next window must report it.
+	id := m.Append(make([]float32, m.Dim()))
+	tr.Insert(id)
+	if cur.Synced() {
+		t.Fatal("cursor still synced after Insert")
+	}
+	cur.ReArm()
+
+	want := oracleRound(tr, center, 7.5, reported)
+	got := drainRound(cur, 7.5)
+	// After a re-arm the cursor re-reports everything in the window; the
+	// caller's visited set dedups. Filter the re-reports out first.
+	fresh := got[:0]
+	for _, g := range got {
+		if !reported[g] {
+			fresh = append(fresh, g)
+		}
+	}
+	if len(fresh) != len(want) {
+		t.Fatalf("after re-arm: %d fresh emissions, want %d", len(fresh), len(want))
+	}
+	found := false
+	for i := range fresh {
+		if fresh[i] != want[i] {
+			t.Fatalf("after re-arm: emission %d = %d, want %d", i, fresh[i], want[i])
+		}
+		if int(fresh[i]) == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted point not reported after re-arm")
+	}
+}
+
+// TestCursorAbandon checks that abandoning a round mid-walk marks the
+// cursor stale and that a re-arm recovers every unreported point.
+func TestCursorAbandon(t *testing.T) {
+	tr, m := cursorTree(t, 9, 400, 3, 0)
+	cur := NewCursor(tr)
+	center := make([]float32, m.Dim())
+	cur.Reset(center)
+
+	cur.BeginRound(4)
+	buf := make([]int32, 3)
+	n := cur.NextBatch(buf)
+	reported := map[int32]bool{}
+	for _, id := range buf[:n] {
+		reported[id] = true
+	}
+	cur.Abandon()
+	if cur.Synced() {
+		t.Fatal("cursor synced after Abandon")
+	}
+	cur.ReArm()
+
+	want := oracleRound(tr, center, 6, reported)
+	got := drainRound(cur, 6)
+	fresh := got[:0]
+	for _, g := range got {
+		if !reported[g] {
+			fresh = append(fresh, g)
+		}
+	}
+	if len(fresh) != len(want) {
+		t.Fatalf("after abandon+rearm: %d fresh emissions, want %d", len(fresh), len(want))
+	}
+}
+
+// TestCursorDrainReportsAll checks that an unbounded round drains every
+// point exactly once across rounds and leaves the frontier exhausted.
+func TestCursorDrainReportsAll(t *testing.T) {
+	tr, m := cursorTree(t, 11, 600, 5, 40)
+	cur := NewCursor(tr)
+	center := make([]float32, m.Dim())
+	cur.Reset(center)
+
+	seen := map[int32]bool{}
+	for _, id := range drainRound(cur, 3) {
+		if seen[id] {
+			t.Fatalf("id %d reported twice", id)
+		}
+		seen[id] = true
+	}
+	for _, id := range drainRound(cur, math.Inf(1)) {
+		if seen[id] {
+			t.Fatalf("id %d reported twice", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != tr.Size() {
+		t.Fatalf("drained %d points, tree holds %d", len(seen), tr.Size())
+	}
+	if !cur.Exhausted() {
+		t.Fatal("frontier not exhausted after full drain")
+	}
+}
+
+// TestCursorInsertedTreeEquivalence runs the ladder differential on trees
+// grown by Insert (splits and forced reinsertion exercised), not just
+// bulk loading.
+func TestCursorInsertedTreeEquivalence(t *testing.T) {
+	tr, m := cursorTree(t, 13, 200, 4, 300)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		center := make([]float32, m.Dim())
+		for j := range center {
+			center[j] = float32(rng.NormFloat64() * 10)
+		}
+		cur := NewCursor(tr)
+		cur.Reset(center)
+		reported := map[int32]bool{}
+		half := 1.0
+		for round := 0; round < 10; round++ {
+			want := oracleRound(tr, center, half, reported)
+			got := drainRound(cur, half)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d round %d: %d vs %d emissions", trial, round, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d round %d: emission %d = %d, want %d", trial, round, i, got[i], want[i])
+				}
+				reported[got[i]] = true
+			}
+			half *= 1.4
+		}
+	}
+}

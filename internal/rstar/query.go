@@ -10,28 +10,58 @@ import "container/heap"
 // materializes a query-centric bucket W(G(q), w0·r) as a window query on the
 // projected space.
 func (t *Tree) Window(w Rect, visit func(id int) bool) {
-	if t.size == 0 {
-		return
-	}
-	t.window(t.root, w, visit)
+	t.WindowVisits(w, visit)
 }
 
-func (t *Tree) window(n *node, w Rect, visit func(id int) bool) bool {
+// WindowVisits is Window, additionally returning the number of tree nodes
+// examined — the traversal-cost figure the query layer surfaces in its
+// statistics.
+func (t *Tree) WindowVisits(w Rect, visit func(id int) bool) int {
+	if t.size == 0 {
+		return 0
+	}
+	nodes, _ := t.window(t.root, w, visit)
+	return nodes
+}
+
+func (t *Tree) window(n *node, w Rect, visit func(id int) bool) (int, bool) {
+	nodes := 1
 	if n.leaf {
-		for _, id := range n.ids {
-			if w.Contains(t.point(id)) {
+		for j, id := range n.ids {
+			if w.Contains(n.entry(j, t.dim)) {
 				if !visit(int(id)) {
-					return false
+					return nodes, false
 				}
 			}
 		}
-		return true
+		return nodes, true
 	}
 	for _, c := range n.children {
 		if !w.Intersects(c.rect) {
 			continue
 		}
-		if !t.window(c, w, visit) {
+		sub, ok := t.window(c, w, visit)
+		nodes += sub
+		if !ok {
+			return nodes, false
+		}
+	}
+	return nodes, true
+}
+
+// Covered reports whether the window of half-width half centred at center
+// (the float32 rectangle WindowRect(center, 2·half) builds) contains the
+// tree's entire bounding box — the ladder's natural end. An empty tree is
+// trivially covered; its zero-rect bounds would otherwise pin the window
+// to the origin. Allocation-free, unlike testing against Bounds.
+func (t *Tree) Covered(center []float32, half float64) bool {
+	if t.size == 0 {
+		return true
+	}
+	h := float32(half)
+	b := t.root.rect
+	for j, c := range center {
+		if b.Min[j] < c-h || b.Max[j] > c+h {
 			return false
 		}
 	}
@@ -169,6 +199,16 @@ func (t *Tree) CheckInvariants() string {
 			total += len(n.ids)
 			if n.level != 0 {
 				return "leaf not at level 0"
+			}
+			if len(n.coords) != len(n.ids)*t.dim {
+				return "leaf coords mirror out of sync"
+			}
+			for j, id := range n.ids {
+				for d, v := range n.entry(j, t.dim) {
+					if v != t.point(id)[d] {
+						return "leaf coords mirror stale"
+					}
+				}
 			}
 		} else {
 			if len(n.children) == 0 {

@@ -60,8 +60,10 @@ func (t *Tree) splitLeaf(n *node) *node {
 
 	siblingIDs := append([]int32(nil), ids[bestCut:]...)
 	n.ids = ids[:bestCut]
+	t.rebuildLeafCoords(n)
 	t.recomputeLeafRect(n)
 	sibling := &node{leaf: true, level: 0, ids: siblingIDs}
+	t.rebuildLeafCoords(sibling)
 	t.recomputeLeafRect(sibling)
 	return sibling
 }

@@ -46,8 +46,20 @@ type node struct {
 	rect     Rect
 	children []*node // internal nodes only
 	ids      []int32 // leaf entries: row indices into the tree's data matrix
-	leaf     bool
-	level    int // 0 = leaf
+	// coords mirrors the leaf entries' coordinates contiguously (entry j is
+	// coords[j*dim : (j+1)*dim]), so a leaf scan reads ~len(ids)·dim·4
+	// sequential bytes instead of chasing len(ids) random matrix rows —
+	// the traversal's dominant cache cost. Maintained by every leaf
+	// mutation; always non-nil in the sense that len(coords) == len(ids)·dim.
+	coords []float32
+	leaf   bool
+	level  int // 0 = leaf
+}
+
+// entry returns the coordinates of the leaf's j-th entry from the
+// cache-contiguous mirror.
+func (n *node) entry(j, dim int) []float32 {
+	return n.coords[j*dim : (j+1)*dim]
 }
 
 func (n *node) entryCount() int {
@@ -69,6 +81,11 @@ type Tree struct {
 	root *node
 	size int
 	dim  int
+
+	// version counts structural mutations. Cursors pin a traversal snapshot
+	// of the node graph; they compare versions to detect that the snapshot
+	// went stale and must be re-armed (see Cursor.Synced).
+	version uint64
 
 	// reinsertedAtLevel tracks which levels already did a forced reinsert
 	// during the current insertion (R* performs at most one per level).
@@ -118,7 +135,14 @@ func (t *Tree) Insert(id int) {
 	t.reinsertedAtLevel = map[int]bool{}
 	t.insertPoint(int32(id))
 	t.size++
+	t.version++
 }
+
+// Version returns the tree's structural mutation counter. It changes on
+// every Insert (splits and reinsertions rearrange nodes a cursor may hold),
+// so a cursor created at one version must be re-armed before advancing once
+// the versions disagree.
+func (t *Tree) Version() uint64 { return t.version }
 
 func (t *Tree) insertPoint(id int32) {
 	r := PointRect(t.point(id))
@@ -126,8 +150,18 @@ func (t *Tree) insertPoint(id int32) {
 	leafN := path[len(path)-1]
 	wasEmpty := len(leafN.ids) == 0
 	leafN.ids = append(leafN.ids, id)
+	leafN.coords = append(leafN.coords, t.point(id)...)
 	t.expandPath(path, r, wasEmpty)
 	t.handleOverflow(path)
+}
+
+// rebuildLeafCoords refreshes a leaf's contiguous coordinate mirror after
+// its id set was reordered or cut.
+func (t *Tree) rebuildLeafCoords(n *node) {
+	n.coords = n.coords[:0]
+	for _, id := range n.ids {
+		n.coords = append(n.coords, t.point(id)...)
+	}
 }
 
 func (t *Tree) insertSubtree(sub *node) {
@@ -214,6 +248,7 @@ func (t *Tree) forceReinsert(n *node, path []*node) {
 		})
 		evicted := append([]int32(nil), ids[:p]...)
 		n.ids = ids[p:]
+		t.rebuildLeafCoords(n)
 		t.recomputeLeafRect(n)
 		tightenPath(path)
 		// Close reinsert: nearest evictions first.
@@ -355,7 +390,7 @@ func (t *Tree) ComputeStats() Stats {
 		if n.leaf {
 			s.Leaves++
 			s.Entries += len(n.ids)
-			s.BytesApprox += int64(len(n.ids)) * 4
+			s.BytesApprox += int64(len(n.ids))*4 + int64(len(n.coords))*4
 			return
 		}
 		s.BytesApprox += int64(len(n.children)) * 8

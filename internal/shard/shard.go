@@ -634,8 +634,9 @@ type Searcher struct {
 	last core.Stats
 
 	// Per-query coordinator state, reused across queries.
-	began []bool       // shard i's searcher saw Begin for this query
-	seenG map[int]bool // global-id dedup across a mid-query index swap
+	began      []bool       // shard i's searcher saw Begin for this query
+	seenG      map[int]bool // global-id dedup across a mid-query index swap
+	carryNodes int          // traversal nodes from searchers discarded mid-query
 }
 
 // NewSearcher returns a searcher bound to the set. Per-shard core searchers
@@ -659,6 +660,11 @@ func (s *Set) NewSearcher() *Searcher {
 func (sr *Searcher) searcherFor(i int) *core.Searcher {
 	st := sr.set.shards[i]
 	if sr.seen[i] != st.idx {
+		if sr.began[i] && sr.per[i] != nil {
+			// A swap mid-query discards the old searcher; carry its
+			// traversal counters so the query's stats stay complete.
+			sr.carryNodes += sr.per[i].LastStats().NodesVisited
+		}
 		sr.per[i] = st.idx.NewSearcher()
 		sr.seen[i] = st.idx
 		sr.began[i] = false // a swapped index needs a fresh Begin
@@ -706,6 +712,7 @@ func (sr *Searcher) searchCoordinated(q []float32, k int, p core.QueryParams) ([
 	c := s.cfg.C
 
 	sr.last = core.Stats{}
+	sr.carryNodes = 0
 	for i := range sr.began {
 		sr.began[i] = false
 	}
@@ -743,6 +750,7 @@ func (sr *Searcher) searchCoordinated(q []float32, k int, p core.QueryParams) ([
 		}
 		if p.Cancelled() {
 			sr.last.Candidates = cnt
+			sr.finishTraversalStats()
 			return cand.Results(), p.Ctx.Err()
 		}
 		sr.last.Rounds++
@@ -770,7 +778,23 @@ func (sr *Searcher) searchCoordinated(q []float32, k int, p core.QueryParams) ([
 		}
 	}
 	sr.last.Candidates = cnt
+	sr.finishTraversalStats()
 	return cand.Results(), nil
+}
+
+// finishTraversalStats folds the per-shard searchers' traversal counters
+// into the merged stats: nodes visited across every shard's trees
+// (including searchers a mid-query compaction swap discarded), and the
+// residual frontier size of every cursor the query armed.
+func (sr *Searcher) finishTraversalStats() {
+	sr.last.NodesVisited += sr.carryNodes
+	for i := range sr.set.shards {
+		if sr.began[i] && sr.per[i] != nil {
+			st := sr.per[i].LastStats()
+			sr.last.NodesVisited += st.NodesVisited
+			sr.last.Frontier += sr.per[i].FrontierLen()
+		}
+	}
 }
 
 // runRound executes one ladder round (or the final sweep) across the
@@ -877,6 +901,7 @@ func (sr *Searcher) SearchRadius(q []float32, r float64, p core.QueryParams) (ve
 			nb.ID = st.globals[nb.ID]
 		}
 		spent := cs.LastStats().Candidates
+		agg.NodesVisited += cs.LastStats().NodesVisited
 		st.mu.RUnlock()
 		agg.Candidates += spent
 		remaining -= spent

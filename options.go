@@ -150,7 +150,13 @@ func WithBatchStats(sts *[]Stats) SearchOption {
 var errBatchStatsScope = errors.New("dblsh: WithBatchStats applies only to SearchBatchOpts")
 
 func statsFromCore(st core.Stats) Stats {
-	return Stats{Candidates: st.Candidates, Rounds: st.Rounds, FinalRadius: st.FinalR}
+	return Stats{
+		Candidates:   st.Candidates,
+		Rounds:       st.Rounds,
+		FinalRadius:  st.FinalR,
+		NodesVisited: st.NodesVisited,
+		FrontierSize: st.Frontier,
+	}
 }
 
 // SearchOpts is Search with per-query options. The error is non-nil when an
@@ -271,6 +277,8 @@ func (idx *Index) SearchBatchOpts(queries [][]float32, k int, opts ...SearchOpti
 		for _, st := range per {
 			agg.Candidates += st.Candidates
 			agg.Rounds += st.Rounds
+			agg.NodesVisited += st.NodesVisited
+			agg.FrontierSize += st.FrontierSize
 			if st.FinalRadius > agg.FinalRadius {
 				agg.FinalRadius = st.FinalRadius
 			}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# bench.sh — run the query-path benchmark suite and emit BENCH_PR5.json,
+# a machine-readable map of benchmark name → {ns_per_op, allocs_per_op}.
+#
+#   COUNT=5 scripts/bench.sh          # -count per benchmark (default 3)
+#   OUT=out.json scripts/bench.sh     # output path (default BENCH_PR5.json)
+#
+# Covers the Table 4 headline query benchmark, the distance-kernel
+# microbenchmarks, the sharded search benchmarks, the traversal-only
+# allocation benchmark, and the cursor-vs-rescan ladder head-to-head.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-3}"
+OUT="${OUT:-BENCH_PR5.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+run() { go test -run '^$' -bench "$1" -benchmem -count "$COUNT" "$2" | tee -a "$TMP"; }
+
+run 'BenchmarkTable4QueryDBLSH$|BenchmarkSearchSharded|BenchmarkLadderAllocs$' .
+run 'BenchmarkDistKernels' ./internal/vec
+run 'BenchmarkLadderModes' ./internal/core
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)        # strip the GOMAXPROCS suffix
+    ns[name] += $3; cnt[name]++
+    for (i = 4; i < NF; i++) if ($(i+1) == "allocs/op") alloc[name] += $i
+}
+END {
+    n = 0
+    for (name in ns) keys[++n] = name
+    for (i = 2; i <= n; i++) {       # insertion sort: portable across awks
+        v = keys[i]
+        for (j = i - 1; j >= 1 && keys[j] > v; j--) keys[j+1] = keys[j]
+        keys[j+1] = v
+    }
+    printf "{\n"
+    for (k = 1; k <= n; k++) {
+        name = keys[k]
+        printf "  \"%s\": {\"ns_per_op\": %.1f, \"allocs_per_op\": %.1f}%s\n", \
+            name, ns[name]/cnt[name], alloc[name]/cnt[name], (k < n) ? "," : ""
+    }
+    printf "}\n"
+}' "$TMP" > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	ds := []time.Duration{4, 1, 3, 2, 5} // unsorted on purpose
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 3},
+		{95, 5},
+		{99, 5},
+		{100, 5},
+		{0, 1},
+	}
+	for _, c := range cases {
+		if got := percentile(ds, c.p); got != c.want {
+			t.Errorf("percentile(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(empty) = %d, want 0", got)
+	}
+	if got := mean(ds); got != 3 {
+		t.Errorf("mean = %d, want 3", got)
+	}
+	if got := mean(nil); got != 0 {
+		t.Errorf("mean(empty) = %d, want 0", got)
+	}
+}
+
+// TestRunAgainstStub drives run() at a stub server and checks the tallies:
+// every request lands in exactly one of successes/shed/errors, reads and
+// writes both occur, and the percentiles come out of the success set.
+func TestRunAgainstStub(t *testing.T) {
+	var searches, adds, served atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]interface{}{"dim": 8})
+	})
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		searches.Add(1)
+		// Shed every fourth request so the 429 path is exercised.
+		if served.Add(1)%4 == 0 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+			return
+		}
+		var req struct {
+			Vector []float32 `json:"vector"`
+			K      int       `json:"k"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Vector) != 8 || req.K != 7 {
+			http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]interface{}{"results": []interface{}{}})
+	})
+	mux.HandleFunc("/vectors", func(w http.ResponseWriter, r *http.Request) {
+		adds.Add(1)
+		json.NewEncoder(w).Encode(map[string]interface{}{"id": 1})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	sum, err := run(config{
+		addr:          ts.URL,
+		concurrency:   3,
+		duration:      300 * time.Millisecond,
+		writeFraction: 0.3,
+		k:             7,
+		seed:          42,
+		timeout:       2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Successes == 0 {
+		t.Fatal("no successful requests against a live stub")
+	}
+	if sum.Reads == 0 || sum.Writes == 0 {
+		t.Fatalf("expected both reads and writes, got %d/%d", sum.Reads, sum.Writes)
+	}
+	if sum.Requests != sum.Successes+sum.Shed+sum.Errors {
+		t.Fatalf("tally mismatch: %d requests vs %d+%d+%d", sum.Requests, sum.Successes, sum.Shed, sum.Errors)
+	}
+	if sum.Shed == 0 {
+		t.Fatal("stub sheds every 4th search but summary counted none")
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("unexpected errors: %d", sum.Errors)
+	}
+	if sum.QPS <= 0 {
+		t.Fatalf("QPS = %v, want > 0", sum.QPS)
+	}
+	if sum.LatencyP50Ms <= 0 || sum.LatencyP99Ms < sum.LatencyP50Ms || sum.LatencyMaxMs < sum.LatencyP99Ms {
+		t.Fatalf("implausible percentiles: p50=%v p99=%v max=%v",
+			sum.LatencyP50Ms, sum.LatencyP99Ms, sum.LatencyMaxMs)
+	}
+	if int64(sum.Reads) != searches.Load() || int64(sum.Writes) != adds.Load() {
+		t.Fatalf("client tallies (%d reads, %d writes) disagree with server (%d, %d)",
+			sum.Reads, sum.Writes, searches.Load(), adds.Load())
+	}
+}
+
+// TestRunQPSCap checks the shared pacer actually bounds the aggregate rate.
+func TestRunQPSCap(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]interface{}{"dim": 4})
+	})
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]interface{}{"results": []interface{}{}})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	sum, err := run(config{
+		addr:        ts.URL,
+		qps:         50,
+		concurrency: 4,
+		duration:    500 * time.Millisecond,
+		k:           3,
+		seed:        1,
+		timeout:     time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 QPS over 0.5s is ~25 requests; allow slack for ticker phase but a
+	// closed loop with 4 workers against a stub would do thousands.
+	if sum.Requests > 40 {
+		t.Fatalf("pacer did not bound the rate: %d requests in %.1fs at 50 QPS",
+			sum.Requests, sum.DurationSeconds)
+	}
+	if sum.Successes == 0 {
+		t.Fatal("no successes under QPS cap")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := run(config{concurrency: 0}); err == nil {
+		t.Error("concurrency 0 accepted")
+	}
+	if _, err := run(config{concurrency: 1, writeFraction: 1.5}); err == nil {
+		t.Error("write-fraction 1.5 accepted")
+	}
+}

@@ -23,6 +23,7 @@
 //
 //	GET  /healthz
 //	GET  /stats
+//	GET  /metrics
 //	POST /search          {"vector": [...], "k": 10}
 //	POST /search_batch    {"vectors": [[...], ...], "k": 10}
 //	POST /search_radius   {"vector": [...], "radius": 1.5}
@@ -55,6 +56,25 @@
 //	dblsh-server -addr :8080 -pprof localhost:6060
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 //
+// GET /metrics exposes the server's operational state in the Prometheus
+// text format: request count/latency/in-flight by endpoint, per-query work
+// histograms (k, nodes visited, frontier size), WAL append/fsync activity,
+// checkpoint and compaction durations — the full catalog is in the README's
+// "Operations" section. -slow-query-threshold additionally logs every
+// request at least that slow as one JSON line on stderr, carrying the
+// query's work counters.
+//
+// Admission control says no before overload says it worse: -max-inflight
+// caps concurrently executing search/mutation requests, -max-queue bounds
+// how many may wait for a slot, and anything beyond that is shed
+// immediately with 429 + Retry-After — probes (/healthz, /stats) and
+// scrapes (/metrics) bypass admission so operators can still see in.
+// -default-deadline gives deadline-less requests one, enforced by the
+// query path's context polling; expiry answers 408.
+//
+//	dblsh-server -addr :8080 -max-inflight 64 -max-queue 128 \
+//	    -default-deadline 2s -slow-query-threshold 100ms
+//
 // With -metric the demo corpus is indexed under a non-Euclidean metric
 // ("cosine" or "ip"); an -index file or data directory carries its own
 // metric. /stats reports the active metric, search responses carry
@@ -68,6 +88,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/http/pprof"
@@ -77,6 +98,7 @@ import (
 	"time"
 
 	"dblsh"
+	"dblsh/internal/obs"
 )
 
 func main() {
@@ -93,6 +115,11 @@ func main() {
 		compactFrac = flag.Float64("compact-fraction", 0, "auto-compact a shard when its tombstoned fraction reaches this (0 disables)")
 		metricName  = flag.String("metric", "euclidean", "distance metric for the demo corpus: euclidean, cosine or ip (an -index file carries its own metric)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty disables)")
+
+		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently executing search/mutation requests (0 = unlimited)")
+		maxQueue    = flag.Int("max-queue", 0, "admission control: requests allowed to wait for a slot before overflow is shed with 429 (with -max-inflight; 0 = shed immediately when all slots are busy)")
+		defDeadline = flag.Duration("default-deadline", 0, "deadline applied to requests that arrive without one; expiry cancels the radius ladder and answers 408 (0 disables)")
+		slowQuery   = flag.Duration("slow-query-threshold", 0, "log requests at least this slow as JSON slow-log lines on stderr (0 disables)")
 	)
 	flag.Parse()
 
@@ -122,10 +149,18 @@ func main() {
 	}
 	log.Printf("serving %d vectors of dim %d (%s metric) across %d shard(s) on %s",
 		idx.Len(), idx.Dim(), idx.Metric(), idx.Shards(), *addr)
+	if *maxInflight > 0 {
+		log.Printf("admission control: %d slots, %d queued; overflow shed with 429", *maxInflight, *maxQueue)
+	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(idx).handler(),
+		Addr: *addr,
+		Handler: newServer(idx, serverConfig{
+			maxInflight:     *maxInflight,
+			maxQueue:        *maxQueue,
+			defaultDeadline: *defDeadline,
+			slowLog:         obs.NewSlowLog(slog.NewJSONHandler(os.Stderr, nil), *slowQuery),
+		}).handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

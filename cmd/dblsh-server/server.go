@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dblsh"
+	"dblsh/internal/obs"
 )
 
 // server routes HTTP requests straight into the index with no lock of its
@@ -18,15 +19,35 @@ import (
 // /search_batch, /vectors, /delete and /compact all run concurrently — a
 // mutation write-locks one shard while the others keep answering, instead
 // of the whole-index RWMutex this server used to take.
+//
+// Every request passes through the wrap middleware (middleware.go): the
+// expensive endpoints sit behind the admission limiter, every endpoint
+// reports into the metrics registry exposed at /metrics, and requests over
+// the slow-query threshold are logged with their work counters.
 type server struct {
 	idx *dblsh.Index
+	cfg serverConfig
+	reg *obs.Registry
+	m   *httpMetrics
+	lim *limiter
 
 	searchers sync.Pool
 }
 
-func newServer(idx *dblsh.Index) *server {
-	s := &server{idx: idx}
+func newServer(idx *dblsh.Index, cfg serverConfig) *server {
+	s := &server{idx: idx, cfg: cfg, reg: obs.NewRegistry()}
 	s.searchers.New = func() interface{} { return idx.NewSearcher() }
+	idx.Instrument(s.reg)
+	s.m = newHTTPMetrics(s.reg)
+	s.lim = newLimiter(cfg.maxInflight, cfg.maxQueue)
+	if s.lim != nil {
+		s.reg.GaugeFunc("dblsh_admission_inflight",
+			"Admission slots currently held by executing requests.",
+			func() float64 { return float64(s.lim.inflight()) })
+		s.reg.GaugeFunc("dblsh_admission_queue_depth",
+			"Requests waiting for an admission slot.",
+			func() float64 { return float64(s.lim.queued()) })
+	}
 	return s
 }
 
@@ -48,21 +69,45 @@ func newServer(idx *dblsh.Index) *server {
 // responses echo the work statistics of the query.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/search", s.handleSearch)
-	mux.HandleFunc("/search_batch", s.handleSearchBatch)
-	mux.HandleFunc("/search_radius", s.handleSearchRadius)
-	mux.HandleFunc("/vectors", s.handleAdd)
-	mux.HandleFunc("/delete", s.handleDelete)
-	mux.HandleFunc("/compact", s.handleCompact)
-	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	// Probe and scrape endpoints skip admission so they keep answering
+	// while the serving endpoints shed load.
+	mux.HandleFunc("/healthz", s.wrap("/healthz", false, s.handleHealthz))
+	mux.HandleFunc("/stats", s.wrap("/stats", false, s.handleStats))
+	mux.HandleFunc("/metrics", s.wrap("/metrics", false, s.handleMetrics))
+	mux.HandleFunc("/search", s.wrap("/search", true, s.handleSearch))
+	mux.HandleFunc("/search_batch", s.wrap("/search_batch", true, s.handleSearchBatch))
+	mux.HandleFunc("/search_radius", s.wrap("/search_radius", true, s.handleSearchRadius))
+	mux.HandleFunc("/vectors", s.wrap("/vectors", true, s.handleAdd))
+	mux.HandleFunc("/delete", s.wrap("/delete", true, s.handleDelete))
+	mux.HandleFunc("/compact", s.wrap("/compact", true, s.handleCompact))
+	mux.HandleFunc("/checkpoint", s.wrap("/checkpoint", true, s.handleCheckpoint))
 	return mux
 }
 
+// allowMethod enforces an endpoint's single allowed method. A mismatch
+// answers 405 with the Allow header set, as RFC 9110 requires, and the
+// same JSON error shape as every other API error.
+func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	httpError(w, http.StatusMethodNotAllowed, "use "+method)
+	return false
+}
+
+// handleMetrics serves the Prometheus text exposition of every registered
+// metric: serving-layer request/latency/in-flight series, per-query work
+// histograms, and the library's WAL/checkpoint/compaction families.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.reg.ServeHTTP(w, r)
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "use GET")
+	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
 	w.WriteHeader(http.StatusOK)
@@ -122,8 +167,7 @@ func durabilityStats(idx *dblsh.Index) *durabilityJSON {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "use GET")
+	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
 	p := s.idx.Params()
@@ -247,8 +291,7 @@ func toStats(st dblsh.Stats) *queryStats {
 
 func (s *server) decodeVector(w http.ResponseWriter, r *http.Request) (searchRequest, bool) {
 	var req searchRequest
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
+	if !allowMethod(w, r, http.MethodPost) {
 		return req, false
 	}
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
@@ -300,6 +343,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		searchError(w, err)
 		return
 	}
+	s.noteQuery(w, req.K, st)
 	writeJSON(w, http.StatusOK, searchResponse{Results: toHits(hits), Stats: toStats(st)})
 }
 
@@ -315,8 +359,7 @@ type batchResponse struct {
 }
 
 func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
+	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req batchRequest
@@ -372,6 +415,7 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, st := range per {
 		resp.Stats[i] = *toStats(st)
+		s.noteQuery(w, req.K, st)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -406,6 +450,7 @@ func (s *server) handleSearchRadius(w http.ResponseWriter, r *http.Request) {
 		searchError(w, err)
 		return
 	}
+	s.noteQuery(w, 1, st)
 	resp := searchResponse{Results: []searchHit{}, Stats: toStats(st)}
 	if found {
 		resp.Results = []searchHit{{ID: hit.ID, Dist: hit.Dist}}
@@ -451,8 +496,7 @@ type deleteResponse struct {
 }
 
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
+	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req deleteRequest
@@ -490,8 +534,7 @@ type compactResponse struct {
 }
 
 func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
+	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req compactRequest
@@ -518,8 +561,7 @@ func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
 // throughout (the snapshot streams shard by shard under per-shard read
 // locks). The response reports the post-checkpoint durability state.
 func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
+	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
 	if _, durable := s.idx.Durability(); !durable {

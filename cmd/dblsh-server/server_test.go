@@ -40,14 +40,14 @@ func testIndexSharded(t *testing.T, shards int) *dblsh.Index {
 
 func testServer(t *testing.T) (*httptest.Server, *dblsh.Index) {
 	idx := testIndex(t)
-	ts := httptest.NewServer(newServer(idx).handler())
+	ts := httptest.NewServer(newServer(idx, serverConfig{}).handler())
 	t.Cleanup(ts.Close)
 	return ts, idx
 }
 
 func testServerSharded(t *testing.T, shards int) (*httptest.Server, *dblsh.Index) {
 	idx := testIndexSharded(t, shards)
-	ts := httptest.NewServer(newServer(idx).handler())
+	ts := httptest.NewServer(newServer(idx, serverConfig{}).handler())
 	t.Cleanup(ts.Close)
 	return ts, idx
 }
@@ -121,7 +121,7 @@ func TestMetricServer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ts := httptest.NewServer(newServer(idx).handler())
+		ts := httptest.NewServer(newServer(idx, serverConfig{}).handler())
 		t.Cleanup(ts.Close)
 
 		var st statsResponse
@@ -151,7 +151,7 @@ func TestMetricServer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ts := httptest.NewServer(newServer(idx).handler())
+		ts := httptest.NewServer(newServer(idx, serverConfig{}).handler())
 		t.Cleanup(ts.Close)
 
 		var st statsResponse
@@ -693,7 +693,7 @@ func TestCheckpointEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { idx.Close() })
-	ts := httptest.NewServer(newServer(idx).handler())
+	ts := httptest.NewServer(newServer(idx, serverConfig{}).handler())
 	t.Cleanup(ts.Close)
 
 	resp := postJSON(t, ts.URL+"/vectors", searchRequest{Vector: make([]float32, 16)})

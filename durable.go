@@ -43,6 +43,7 @@ import (
 	"sync"
 	"time"
 
+	"dblsh/internal/obs"
 	"dblsh/internal/wal"
 )
 
@@ -143,6 +144,19 @@ type durable struct {
 	checkpoints int64
 	lastCkpt    time.Time
 
+	// Replay statistics, written once during Open (before the index is
+	// published) and read-only afterwards — scrape-time gauge funcs read
+	// them without a lock.
+	replaySegments int // log segments replayed at Open (rotated + active)
+	replayRecords  int // records re-applied on top of the checkpoint
+	replayTorn     int // segments whose torn tail was dropped
+
+	// walM is copied onto every log segment writer (the active one and
+	// each rotation's replacement) so append/fsync metrics survive
+	// rotation. ckptSeconds times complete checkpoints. Guarded by mu.
+	walM        wal.Metrics
+	ckptSeconds *obs.Histogram
+
 	stop      chan struct{}
 	bg        sync.WaitGroup
 	closeOnce sync.Once
@@ -216,7 +230,7 @@ func Open(dir string, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	replayed := 0
+	replayed, replaySegments, replayTorn := 0, 0, 0
 	for _, p := range olds {
 		// A torn tail here is the unsynced end of a segment orphaned by a
 		// crash mid-checkpoint: the lost records were never acknowledged
@@ -228,12 +242,20 @@ func Open(dir string, opts Options) (*Index, error) {
 			return nil, fmt.Errorf("dblsh: replay %s: %w", p, err)
 		}
 		replayed += res.Records
+		replaySegments++
+		if res.Torn {
+			replayTorn++
+		}
 	}
 	walPath := filepath.Join(dir, walName)
 	var goodOffset int64
 	if res, err := wal.Replay(walPath, idim, apply); err == nil {
 		goodOffset = res.GoodOffset
 		replayed += res.Records
+		replaySegments++
+		if res.Torn {
+			replayTorn++
+		}
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("dblsh: replay %s: %w", walPath, err)
 	}
@@ -245,17 +267,20 @@ func Open(dir string, opts Options) (*Index, error) {
 	}
 
 	d := &durable{
-		dir:       dir,
-		policy:    opts.Sync,
-		syncEvery: opts.SyncEvery,
-		ckptEvery: opts.CheckpointEvery,
-		log:       log,
-		ops:       int64(replayed),
-		oldPaths:  olds,
-		oldBytes:  oldBytes,
-		nextSeq:   nextSeq,
-		lastCkpt:  lastCkpt,
-		stop:      make(chan struct{}),
+		dir:            dir,
+		policy:         opts.Sync,
+		syncEvery:      opts.SyncEvery,
+		ckptEvery:      opts.CheckpointEvery,
+		log:            log,
+		ops:            int64(replayed),
+		oldPaths:       olds,
+		oldBytes:       oldBytes,
+		nextSeq:        nextSeq,
+		lastCkpt:       lastCkpt,
+		replaySegments: replaySegments,
+		replayRecords:  replayed,
+		replayTorn:     replayTorn,
+		stop:           make(chan struct{}),
 	}
 	idx.dur = d
 
@@ -390,6 +415,19 @@ func (d *durable) start(idx *Index) {
 	}
 }
 
+// setMetrics installs the durability layer's observability hooks: the WAL
+// metrics carry over to every future log segment (and are attached to the
+// active one), and ckptSeconds times completed checkpoints.
+func (d *durable) setMetrics(wm wal.Metrics, ckptSeconds *obs.Histogram) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.walM = wm
+	d.ckptSeconds = ckptSeconds
+	if !d.closed {
+		d.log.M = wm
+	}
+}
+
 // note records the first logging/background failure. Callers hold d.mu.
 func (d *durable) note(err error) {
 	if err != nil && d.firstErr == nil {
@@ -494,6 +532,7 @@ func (idx *Index) Checkpoint() error {
 func (d *durable) checkpoint(idx *Index) error {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
+	start := time.Now()
 
 	// Rotate the active segment aside so the log from here on belongs to
 	// the next checkpoint. Everything rotated out was applied before this
@@ -520,6 +559,9 @@ func (d *durable) checkpoint(idx *Index) error {
 			return err
 		}
 		fresh, err := wal.OpenWriter(walPath, 0)
+		if err == nil {
+			fresh.M = d.walM
+		}
 		if err != nil {
 			d.note(err)
 			if rerr := os.Rename(oldPath, walPath); rerr != nil {
@@ -566,9 +608,11 @@ func (d *durable) checkpoint(idx *Index) error {
 	d.oldPaths = nil
 	d.oldBytes = 0
 	d.ops -= opsRotated
+	ckptSeconds := d.ckptSeconds
 	d.mu.Unlock()
 	d.checkpoints++
 	d.lastCkpt = time.Now()
+	ckptSeconds.Observe(time.Since(start).Seconds())
 	return nil
 }
 

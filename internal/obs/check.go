@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates text in the Prometheus exposition format
+// v0.0.4 the way a scraper would: every sample line must parse, belong to
+// a family declared by a preceding # TYPE line, and histogram series must
+// be internally consistent (cumulative, monotone buckets; _count equal to
+// the +Inf bucket). It exists so tests can assert "a real scraper would
+// accept this" without a Prometheus dependency; it checks structure, not
+// values.
+func CheckExposition(text string) error {
+	types := make(map[string]string) // family name -> TYPE
+	// histogram series state, keyed by family + non-le labels
+	type histSeries struct {
+		last     float64
+		lastLe   float64
+		hasInf   bool
+		infCount float64
+	}
+	hists := make(map[string]*histSeries)
+	counts := make(map[string]float64)
+
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := fields[2], fields[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" && typ != "summary" && typ != "untyped" {
+				return fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			if _, dup := types[name]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or comment
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		family, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, s
+				break
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %s has no preceding TYPE", lineNo, name)
+		}
+		if typ == "histogram" && suffix == "" {
+			return fmt.Errorf("line %d: bare sample %s of histogram family", lineNo, name)
+		}
+		if (typ == "counter" || suffix == "_bucket" || suffix == "_count") && value < 0 {
+			return fmt.Errorf("line %d: negative count %v for %s", lineNo, value, name)
+		}
+
+		if suffix == "_bucket" {
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: bucket sample %s without le label", lineNo, name)
+			}
+			key := family + "|" + labelKeyWithout(labels, "le")
+			h, ok := hists[key]
+			if !ok {
+				h = &histSeries{lastLe: float64(-1 << 62)}
+				hists[key] = h
+			}
+			if le == "+Inf" {
+				h.hasInf = true
+				h.infCount = value
+			} else {
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %q", lineNo, le)
+				}
+				if bound <= h.lastLe {
+					return fmt.Errorf("line %d: bucket bounds not increasing in %s", lineNo, family)
+				}
+				h.lastLe = bound
+			}
+			if value < h.last {
+				return fmt.Errorf("line %d: bucket counts not cumulative in %s", lineNo, family)
+			}
+			h.last = value
+		}
+		if suffix == "_count" {
+			counts[family+"|"+labelKeyWithout(labels, "le")] = value
+		}
+	}
+
+	for key, h := range hists {
+		family := key[:strings.Index(key, "|")]
+		if !h.hasInf {
+			return fmt.Errorf("histogram %s has no +Inf bucket", family)
+		}
+		if c, ok := counts[key]; ok && c != h.infCount {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", family, c, h.infCount)
+		}
+	}
+	return nil
+}
+
+// parseSample splits `name{l="v",...} value` into its parts.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = make(map[string]string)
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	} else {
+		name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated labels in %q", line)
+		}
+		body, tail := rest[1:end], rest[end+1:]
+		for _, pair := range splitLabelPairs(body) {
+			eq := strings.Index(pair, "=")
+			if eq < 0 || !strings.HasPrefix(pair[eq+1:], `"`) || !strings.HasSuffix(pair, `"`) {
+				return "", nil, 0, fmt.Errorf("malformed label pair %q", pair)
+			}
+			labels[pair[:eq]] = unescapeLabel(pair[eq+2 : len(pair)-1])
+		}
+		rest = tail
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp may follow the value; this module never emits one, so a
+	// second field is rejected as unexpected.
+	if strings.ContainsAny(rest, " \t") {
+		return "", nil, 0, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	value, err = parseValue(rest)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// splitLabelPairs splits `a="x",b="y"` on commas outside quotes.
+func splitLabelPairs(body string) []string {
+	if body == "" {
+		return nil
+	}
+	var out []string
+	var b strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range body {
+		switch {
+		case escaped:
+			escaped = false
+		case r == '\\' && inQuote:
+			escaped = true
+		case r == '"':
+			inQuote = !inQuote
+		case r == ',' && !inQuote:
+			out = append(out, b.String())
+			b.Reset()
+			continue
+		}
+		b.WriteRune(r)
+	}
+	out = append(out, b.String())
+	return out
+}
+
+func unescapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// labelKeyWithout renders labels (minus one name) as a stable map key.
+func labelKeyWithout(labels map[string]string, drop string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != drop {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}

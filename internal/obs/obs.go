@@ -1,0 +1,488 @@
+// Package obs is the observability layer: a dependency-free metrics
+// registry (counters, gauges, fixed-bucket histograms, with optional
+// labels) exposed in the Prometheus text exposition format v0.0.4, plus a
+// structured slow-query log built on log/slog (see slowlog.go). It exists
+// so every layer of the module — the WAL, the durability path, the shard
+// set, the HTTP server — can report operational state through one scrape
+// endpoint without pulling a client library into the module's (empty)
+// dependency set.
+//
+// # Concurrency
+//
+// A Registry and every metric it hands out are safe for concurrent use.
+// Updates (Inc/Add/Set/Observe) are lock-free atomics on the hot path;
+// registration and label-child creation take a mutex and are expected at
+// startup, not per request. All metric update methods are nil-receiver
+// safe no-ops, so instrumented code paths never need to guard "is anyone
+// listening?" — an un-instrumented layer pays one nil check.
+//
+// # Bucket conventions
+//
+// Histogram bucket layouts are chosen once, here, so dashboards stay
+// stable across PRs:
+//
+//   - LatencyBuckets: 100µs to 10s, log-spaced on a 1–2.5–5 decade grid
+//     (0.0001, 0.00025, 0.0005, 0.001, …, 5, 10 seconds, 16 buckets).
+//     Every duration histogram in the module (request latency, WAL fsync,
+//     checkpoint and compaction duration) uses these.
+//   - CountBuckets: powers of two from 1 to 65536 (17 buckets). Every
+//     work-counter histogram (per-query k, nodes visited, frontier size)
+//     uses these.
+//
+// Callers needing a different layout pass explicit bounds to Histogram;
+// within this module, don't — stick to the two standard layouts.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// LatencyBuckets returns the standard duration bucket upper bounds, in
+// seconds: 100µs..10s log-spaced on a 1–2.5–5 grid. See the package doc.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005,
+		0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5,
+		1, 2.5, 5, 10,
+	}
+}
+
+// CountBuckets returns the standard work-counter bucket upper bounds:
+// powers of two from 1 to 65536. See the package doc.
+func CountBuckets() []float64 {
+	out := make([]float64, 0, 17)
+	for v := 1.0; v <= 65536; v *= 2 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n, which must be non-negative.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution metric. Bucket upper bounds are
+// set at registration and never change; observations are lock-free.
+type Histogram struct {
+	uppers []float64       // sorted upper bounds; +Inf is implicit
+	counts []atomic.Uint64 // len(uppers)+1, last is the +Inf overflow
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+}
+
+func newHistogram(uppers []float64) *Histogram {
+	u := append([]float64(nil), uppers...)
+	sort.Float64s(u)
+	return &Histogram{uppers: u, counts: make([]atomic.Uint64, len(u)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound contains v; the +Inf overflow
+	// otherwise.
+	i := sort.SearchFloat64s(h.uppers, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// metricKind is the exposition TYPE of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// child is one labeled instance of a family.
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	fn          func() float64 // counter/gauge funcs, sampled at scrape
+}
+
+// family is one registered metric name: its metadata plus all label
+// children (a single unlabeled child for plain metrics).
+type family struct {
+	name, help string
+	kind       metricKind
+	labels     []string
+	uppers     []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []string // child keys in creation order, for stable output
+}
+
+func (f *family) child(labelValues []string) *child {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s has %d labels, got %d values",
+			f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := &child{labelValues: append([]string(nil), labelValues...)}
+	switch f.kind {
+	case kindCounter:
+		c.counter = &Counter{}
+	case kindGauge:
+		c.gauge = &Gauge{}
+	case kindHistogram:
+		c.hist = newHistogram(f.uppers)
+	}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// Registry holds a set of metric families and renders them in the
+// Prometheus text exposition format v0.0.4. The zero value is not usable;
+// call NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// register creates a family, panicking on a duplicate or invalid name —
+// metric registration is startup code and a collision is a programming
+// error, not a runtime condition.
+func (r *Registry) register(name, help string, kind metricKind, uppers []float64, labelNames []string) *family {
+	if !validName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	for _, l := range labelNames {
+		if !validName(l) || strings.Contains(l, ":") {
+			panic("obs: invalid label name " + strconv.Quote(l))
+		}
+	}
+	if kind == kindHistogram && len(uppers) == 0 {
+		panic("obs: histogram " + name + " needs at least one bucket")
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels:   append([]string(nil), labelNames...),
+		uppers:   append([]float64(nil), uppers...),
+		children: make(map[string]*child),
+	}
+	sort.Float64s(f.uppers)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	r.byName[name] = f
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, nil, nil).child(nil).counter
+}
+
+// CounterVec registers a counter family with the given label names.
+type CounterVec struct{ f *family }
+
+// CounterVec registers and returns a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, kindCounter, nil, labelNames)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(labelValues).counter
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at scrape
+// time — for monotonic values another subsystem already maintains.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindCounter, nil, nil).child(nil).fn = fn
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, nil, nil).child(nil).gauge
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers and returns a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, kindGauge, nil, labelNames)}
+}
+
+// With returns the gauge for the given label values, creating it on first
+// use.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(labelValues).gauge
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at scrape
+// time — for state another subsystem already tracks (queue depths, sizes).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGauge, nil, nil).child(nil).fn = fn
+}
+
+// Histogram registers and returns a histogram with the given bucket upper
+// bounds (+Inf is implicit). Use LatencyBuckets or CountBuckets unless
+// there is a strong reason not to.
+func (r *Registry) Histogram(name, help string, uppers []float64) *Histogram {
+	return r.register(name, help, kindHistogram, uppers, nil).child(nil).hist
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers and returns a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, uppers []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, kindHistogram, uppers, labelNames)}
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(labelValues).hist
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// labelString renders {k1="v1",k2="v2"}; extra appends one more pair (the
+// histogram "le" label). Empty when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteTo renders every family in registration order (children in creation
+// order) in the text exposition format v0.0.4.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		f.mu.Lock()
+		children := make([]*child, 0, len(f.order))
+		for _, key := range f.order {
+			children = append(children, f.children[key])
+		}
+		f.mu.Unlock()
+		for _, c := range children {
+			ls := labelString(f.labels, c.labelValues, "", "")
+			switch {
+			case c.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, ls, formatValue(c.fn()))
+			case c.counter != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, ls, c.counter.Value())
+			case c.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, ls, c.gauge.Value())
+			case c.hist != nil:
+				// Cumulative bucket counts; each bucket read is atomic but
+				// the scrape as a whole is a best-effort snapshot, like any
+				// Prometheus client.
+				var cum uint64
+				for i, upper := range c.hist.uppers {
+					cum += c.hist.counts[i].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						labelString(f.labels, c.labelValues, "le", formatValue(upper)), cum)
+				}
+				cum += c.hist.counts[len(c.hist.uppers)].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, c.labelValues, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, ls, formatValue(c.hist.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, ls, cum)
+			}
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// ServeHTTP exposes the registry as a Prometheus scrape endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	r.WriteTo(w)
+}

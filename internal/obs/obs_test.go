@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	g := r.Gauge("g", "a gauge")
+	c.Inc()
+	c.Add(41)
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var cv *CounterVec
+	var gv *GaugeVec
+	var hv *HistogramVec
+	var sl *SlowLog
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Dec()
+	h.Observe(1)
+	cv.With("x").Inc()
+	gv.With("x").Set(2)
+	hv.With("x").Observe(1)
+	sl.Observe("/search", 200, time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || sl.Threshold() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "hist", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+5+10+11+1000; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var buf bytes.Buffer
+	r.WriteTo(&buf)
+	out := buf.String()
+	// Upper bounds are inclusive and the rendered counts cumulative.
+	for _, want := range []string{
+		`h_bucket{le="1"} 2`,
+		`h_bucket{le="10"} 4`,
+		`h_bucket{le="100"} 5`,
+		`h_bucket{le="+Inf"} 6`,
+		`h_count 6`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("req_total", `requests by "endpoint"`, "endpoint", "status")
+	c.With("/search", "200").Add(3)
+	c.With("/search", "400").Add(1)
+	r.GaugeFunc("live", "sampled\nvalue", func() float64 { return 12.5 })
+	g := r.GaugeVec("inflight", "by endpoint", "endpoint")
+	g.With(`a\b"c`).Set(2)
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP req_total requests by \"endpoint\"\n",
+		"# TYPE req_total counter\n",
+		`req_total{endpoint="/search",status="200"} 3` + "\n",
+		`req_total{endpoint="/search",status="400"} 1` + "\n",
+		"# HELP live sampled\\nvalue\n",
+		"# TYPE live gauge\n",
+		"live 12.5\n",
+		`inflight{endpoint="a\\b\"c"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition(out); err != nil {
+		t.Fatalf("self-check rejects own output: %v", err)
+	}
+}
+
+func TestCheckExpositionRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_type_declared 1\n",
+		"# TYPE x counter\nx notanumber\n",
+		"# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"# TYPE x histogram\nx_bucket{le=\"1\"} 5\nx_bucket{le=\"+Inf\"} 3\nx_sum 1\nx_count 3\n", // non-monotonic
+	} {
+		if err := CheckExposition(bad); err == nil {
+			t.Errorf("CheckExposition accepted %q", bad)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	r.Gauge("dup", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid metric name")
+		}
+	}()
+	r.Counter("0bad name", "")
+}
+
+func TestWrongLabelCardinalityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c_total", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong label cardinality")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lat := LatencyBuckets()
+	if lat[0] != 0.0001 || lat[len(lat)-1] != 10 {
+		t.Fatalf("latency buckets span %v..%v, want 100µs..10s", lat[0], lat[len(lat)-1])
+	}
+	cnt := CountBuckets()
+	if cnt[0] != 1 || cnt[len(cnt)-1] != 65536 {
+		t.Fatalf("count buckets span %v..%v, want 1..65536", cnt[0], cnt[len(cnt)-1])
+	}
+	for i := 1; i < len(cnt); i++ {
+		if cnt[i] != 2*cnt[i-1] {
+			t.Fatalf("count buckets not powers of two at %d: %v", i, cnt)
+		}
+	}
+	for i := 1; i < len(lat); i++ {
+		if lat[i] <= lat[i-1] {
+			t.Fatalf("latency buckets not increasing at %d: %v", i, lat)
+		}
+	}
+}
+
+// TestConcurrentUpdatesAndScrapes is the -race net for the lock-free
+// update paths racing WriteTo.
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", LatencyBuckets())
+	v := r.CounterVec("v_total", "", "worker")
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) * 1e-4)
+				v.With(lbl).Inc()
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					r.WriteTo(&buf)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	var buf bytes.Buffer
+	r.WriteTo(&buf)
+	if err := CheckExposition(buf.String()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramSumAccumulatesUnderContention(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if math.Abs(h.Sum()-2000) > 1e-9 {
+		t.Fatalf("sum = %v, want 2000", h.Sum())
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(slog.NewJSONHandler(&buf, nil), 10*time.Millisecond)
+	l.Observe("/search", 200, time.Millisecond) // below threshold: dropped
+	if buf.Len() != 0 {
+		t.Fatalf("fast query logged: %s", buf.String())
+	}
+	l.Observe("/search", 200, 25*time.Millisecond, slog.Int("k", 10))
+	line := buf.String()
+	for _, want := range []string{
+		`"msg":"slow_query"`,
+		`"endpoint":"/search"`,
+		`"status":200`,
+		`"duration_ms":25`,
+		`"k":10`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slow log line missing %s: %s", want, line)
+		}
+	}
+	if NewSlowLog(slog.NewJSONHandler(&buf, nil), 0) != nil {
+		t.Fatal("zero threshold must return the disabled (nil) logger")
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// SlowLog is a structured slow-query log: requests whose duration meets a
+// threshold are emitted as one JSON line each through log/slog, so an
+// operator can tail production for outliers without per-request log
+// volume. A nil *SlowLog is a valid no-op logger, which is how a server
+// runs with slow logging disabled.
+type SlowLog struct {
+	threshold time.Duration
+	logger    *slog.Logger
+}
+
+// NewSlowLog returns a slow log writing JSON lines to handler's stream for
+// every observation at or above threshold. A non-positive threshold
+// returns nil — the disabled (no-op) logger.
+func NewSlowLog(h slog.Handler, threshold time.Duration) *SlowLog {
+	if threshold <= 0 {
+		return nil
+	}
+	return &SlowLog{threshold: threshold, logger: slog.New(h)}
+}
+
+// Threshold returns the logging threshold (0 for the disabled logger).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Observe logs one request if its duration reaches the threshold. The
+// emitted record carries msg "slow_query" plus endpoint, status,
+// duration_ms and whatever extra attributes the caller attached (query
+// shape, work counters).
+func (l *SlowLog) Observe(endpoint string, status int, d time.Duration, attrs ...slog.Attr) {
+	if l == nil || d < l.threshold {
+		return
+	}
+	base := []slog.Attr{
+		slog.String("endpoint", endpoint),
+		slog.Int("status", status),
+		slog.Float64("duration_ms", float64(d)/float64(time.Millisecond)),
+	}
+	l.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow_query",
+		append(base, attrs...)...)
+}

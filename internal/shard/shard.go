@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"dblsh/internal/core"
+	"dblsh/internal/obs"
 	"dblsh/internal/vec"
 )
 
@@ -70,6 +71,27 @@ type Set struct {
 	shards      []*state
 	nextID      atomic.Int64 // global id allocator / id-space bound
 	pool        sync.Pool    // of *Searcher, for the pooled entry points
+
+	// metrics is the optional compaction observability hook set, swapped
+	// in atomically so SetMetrics is safe while background auto-compaction
+	// is already running.
+	metrics atomic.Pointer[Metrics]
+}
+
+// Metrics reports the set's compaction activity. Fields are optional (obs
+// metric types are nil-safe).
+type Metrics struct {
+	// CompactionRuns counts completed compactions that actually rebuilt a
+	// shard (clean shards short-circuit and are not counted).
+	CompactionRuns *obs.Counter
+	// CompactionSeconds is the duration distribution of those rebuilds.
+	CompactionSeconds *obs.Histogram
+}
+
+// SetMetrics installs (or replaces) the compaction metrics. Safe to call
+// at any time, including while compactions are in flight.
+func (s *Set) SetMetrics(m Metrics) {
+	s.metrics.Store(&m)
 }
 
 // SetCompactFraction replaces the auto-compaction threshold: a Delete that
@@ -464,6 +486,13 @@ func (s *Set) compactState(st *state) int {
 		st.mu.RUnlock()
 		return 0
 	}
+	start := time.Now()
+	defer func() {
+		if m := s.metrics.Load(); m != nil {
+			m.CompactionRuns.Inc()
+			m.CompactionSeconds.Observe(time.Since(start).Seconds())
+		}
+	}()
 	live, oldLocals := old.LiveRows()
 	snapGlobals := make([]int, len(oldLocals))
 	for j, ol := range oldLocals {

@@ -41,6 +41,9 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
+
+	"dblsh/internal/obs"
 )
 
 // Op identifies a record's mutation type.
@@ -229,6 +232,20 @@ func Replay(path string, maxFloats int, fn func(Record) error) (ReplayResult, er
 // readable; recovery goes through Replay.
 var ErrWriterFailed = errors.New("wal: writer failed; segment tail state unknown")
 
+// Metrics is the writer's observability hook set. Every field is optional
+// (the obs metric types are nil-safe), so an uninstrumented writer pays a
+// nil check per event. The metrics outlive any one segment: the durability
+// layer carries one Metrics value across log rotations.
+type Metrics struct {
+	// Appends counts records appended; AppendBytes their framed bytes.
+	Appends     *obs.Counter
+	AppendBytes *obs.Counter
+	// Fsyncs counts physical fsyncs (Sync calls that found dirty frames);
+	// FsyncSeconds is their latency distribution.
+	Fsyncs       *obs.Counter
+	FsyncSeconds *obs.Histogram
+}
+
 // Writer appends records to one log segment. It is not internally
 // synchronized: callers serialize Append/Sync/Close (the durability layer
 // holds its log mutex across them).
@@ -238,6 +255,10 @@ type Writer struct {
 	size   int64
 	dirty  bool // bytes written since the last Sync
 	failed bool // see ErrWriterFailed
+
+	// M is set (before first use) by callers that want the segment's
+	// append/fsync activity reported.
+	M Metrics
 }
 
 // OpenWriter opens (or creates) the segment at path for appending,
@@ -275,6 +296,8 @@ func (w *Writer) Append(rec Record) error {
 	if err == nil {
 		w.size += int64(n)
 		w.dirty = true
+		w.M.Appends.Inc()
+		w.M.AppendBytes.Add(int64(n))
 		return nil
 	}
 	if n > 0 {
@@ -304,10 +327,13 @@ func (w *Writer) Sync() error {
 	if !w.dirty {
 		return nil
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		w.failed = true
 		return err
 	}
+	w.M.Fsyncs.Inc()
+	w.M.FsyncSeconds.Observe(time.Since(start).Seconds())
 	w.dirty = false
 	return nil
 }

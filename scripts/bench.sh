@@ -1,20 +1,40 @@
 #!/usr/bin/env bash
-# bench.sh — run the query-path benchmark suite and emit BENCH_PR5.json,
-# a machine-readable map of benchmark name → {ns_per_op, allocs_per_op}.
+# bench.sh — run the query-path benchmark suite plus a short end-to-end
+# loadgen run, and emit BENCH_PR6.json:
 #
-#   COUNT=5 scripts/bench.sh          # -count per benchmark (default 3)
-#   OUT=out.json scripts/bench.sh     # output path (default BENCH_PR5.json)
+#   {
+#     "benchmarks": { name -> {ns_per_op, allocs_per_op} },
+#     "loadgen":    { qps, latency percentiles, success/shed/error tallies }
+#   }
 #
-# Covers the Table 4 headline query benchmark, the distance-kernel
-# microbenchmarks, the sharded search benchmarks, the traversal-only
-# allocation benchmark, and the cursor-vs-rescan ladder head-to-head.
+#   COUNT=5 scripts/bench.sh              # -count per benchmark (default 3)
+#   OUT=out.json scripts/bench.sh         # output path (default BENCH_PR6.json)
+#   LOADGEN_DURATION=5s scripts/bench.sh  # loadgen run length (default 2s)
+#
+# The benchmark half covers the Table 4 headline query benchmark, the
+# distance-kernel microbenchmarks, the sharded search benchmarks, the
+# traversal-only allocation benchmark, and the cursor-vs-rescan ladder
+# head-to-head. The loadgen half builds dblsh-server and dblsh-loadgen,
+# starts a durable server on a temp data dir, and drives it closed-loop —
+# so the recorded numbers include HTTP, admission and WAL overhead, not
+# just the in-process query path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-3}"
-OUT="${OUT:-BENCH_PR5.json}"
+OUT="${OUT:-BENCH_PR6.json}"
+LOADGEN_DURATION="${LOADGEN_DURATION:-2s}"
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+BENCH_JSON="$(mktemp)"
+LOADGEN_JSON="$(mktemp)"
+BINDIR="$(mktemp -d)"
+DATADIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null
+    rm -rf "$TMP" "$BENCH_JSON" "$LOADGEN_JSON" "$BINDIR" "$DATADIR"
+}
+trap cleanup EXIT
 
 run() { go test -run '^$' -bench "$1" -benchmem -count "$COUNT" "$2" | tee -a "$TMP"; }
 
@@ -40,11 +60,37 @@ END {
     printf "{\n"
     for (k = 1; k <= n; k++) {
         name = keys[k]
-        printf "  \"%s\": {\"ns_per_op\": %.1f, \"allocs_per_op\": %.1f}%s\n", \
+        printf "    \"%s\": {\"ns_per_op\": %.1f, \"allocs_per_op\": %.1f}%s\n", \
             name, ns[name]/cnt[name], alloc[name]/cnt[name], (k < n) ? "," : ""
     }
-    printf "}\n"
-}' "$TMP" > "$OUT"
+    printf "  }"
+}' "$TMP" > "$BENCH_JSON"
+
+# --- end-to-end loadgen run against a local durable server ---------------
+echo "building server + loadgen..."
+go build -o "$BINDIR/dblsh-server" ./cmd/dblsh-server
+go build -o "$BINDIR/dblsh-loadgen" ./cmd/dblsh-loadgen
+
+PORT="${PORT:-18080}"
+"$BINDIR/dblsh-server" -addr "localhost:$PORT" -data-dir "$DATADIR" \
+    -demo-n 5000 -demo-dim 32 -max-inflight 16 -max-queue 64 &
+SERVER_PID=$!
+
+# dblsh-loadgen polls /stats itself until the server is ready.
+"$BINDIR/dblsh-loadgen" -addr "http://localhost:$PORT" \
+    -duration "$LOADGEN_DURATION" -concurrency 4 -write-fraction 0.1 -k 10 \
+    > "$LOADGEN_JSON"
+
+kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+{
+    printf '{\n  "benchmarks": '
+    cat "$BENCH_JSON"
+    printf ',\n  "loadgen": '
+    cat "$LOADGEN_JSON"
+    printf '}\n'
+} > "$OUT"
 
 echo "wrote $OUT:"
 cat "$OUT"

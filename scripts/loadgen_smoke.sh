@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# loadgen_smoke.sh — CI smoke test for the serving stack: build the server
+# and the load generator, start a durable server on a temp data dir with
+# admission control enabled, drive it for ~2 seconds, and assert that
+#
+#   1. the loadgen summary reports a nonzero success count, and
+#   2. a /metrics scrape answers 200 with the core families present.
+#
+# Designed to finish well under a minute on a CI runner.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-18081}"
+BINDIR="$(mktemp -d)"
+DATADIR="$(mktemp -d)"
+SUMMARY="$(mktemp)"
+SCRAPE="$(mktemp)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null
+    rm -rf "$BINDIR" "$DATADIR" "$SUMMARY" "$SCRAPE"
+}
+trap cleanup EXIT
+
+go build -o "$BINDIR/dblsh-server" ./cmd/dblsh-server
+go build -o "$BINDIR/dblsh-loadgen" ./cmd/dblsh-loadgen
+
+"$BINDIR/dblsh-server" -addr "localhost:$PORT" -data-dir "$DATADIR" \
+    -demo-n 2000 -demo-dim 16 \
+    -max-inflight 8 -max-queue 32 -slow-query-threshold 250ms &
+SERVER_PID=$!
+
+# dblsh-loadgen polls /stats itself until the server is ready.
+"$BINDIR/dblsh-loadgen" -addr "http://localhost:$PORT" \
+    -duration 2s -concurrency 4 -write-fraction 0.2 -k 5 | tee "$SUMMARY"
+
+successes="$(grep -o '"successes": *[0-9]*' "$SUMMARY" | grep -o '[0-9]*$')"
+if [ -z "$successes" ] || [ "$successes" -eq 0 ]; then
+    echo "loadgen smoke: zero successful requests" >&2
+    exit 1
+fi
+echo "loadgen smoke: $successes successful requests"
+
+curl -fsS "http://localhost:$PORT/metrics" > "$SCRAPE"
+for family in dblsh_http_requests_total dblsh_http_request_seconds_bucket \
+              dblsh_query_nodes_visited dblsh_wal_fsync_seconds \
+              dblsh_vectors_resident; do
+    if ! grep -q "$family" "$SCRAPE"; then
+        echo "loadgen smoke: /metrics missing $family" >&2
+        exit 1
+    fi
+done
+echo "loadgen smoke: /metrics scrape OK ($(wc -l < "$SCRAPE") lines)"

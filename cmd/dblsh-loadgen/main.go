@@ -63,6 +63,13 @@ type summary struct {
 	LatencyP95Ms    float64 `json:"latency_p95_ms"`
 	LatencyP99Ms    float64 `json:"latency_p99_ms"`
 	LatencyMaxMs    float64 `json:"latency_max_ms"`
+	// Quantized pre-filter activity summed from the search responses'
+	// stats: how many candidates the int8 pre-filter swept and rejected.
+	// The fraction is pruned/swept (0 when the pre-filter is off or the
+	// adaptive gate kept it closed).
+	QuantPruned         int     `json:"quant_pruned"`
+	QuantSwept          int     `json:"quant_swept"`
+	QuantPrunedFraction float64 `json:"quant_pruned_fraction"`
 }
 
 func main() {
@@ -132,6 +139,7 @@ func fetchDim(client *http.Client, addr string, patience time.Duration) (int, er
 type workerResult struct {
 	successes, shed, errors int
 	reads, writes           int
+	quantPruned, quantSwept int
 	latencies               []time.Duration
 }
 
@@ -205,6 +213,20 @@ func run(cfg config) (summary, error) {
 					res.errors++
 					continue
 				}
+				if !isWrite && resp.StatusCode == http.StatusOK {
+					// Fold the response's pre-filter counters into the
+					// run summary; a decode failure only loses the tally.
+					var sr struct {
+						Stats struct {
+							QuantPruned int `json:"quant_pruned"`
+							QuantSwept  int `json:"quant_swept"`
+						} `json:"stats"`
+					}
+					if err := json.NewDecoder(resp.Body).Decode(&sr); err == nil {
+						res.quantPruned += sr.Stats.QuantPruned
+						res.quantSwept += sr.Stats.QuantSwept
+					}
+				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				switch {
@@ -235,9 +257,14 @@ func run(cfg config) (summary, error) {
 		sum.Errors += r.errors
 		sum.Reads += r.reads
 		sum.Writes += r.writes
+		sum.QuantPruned += r.quantPruned
+		sum.QuantSwept += r.quantSwept
 		all = append(all, r.latencies...)
 	}
 	sum.Requests = sum.Successes + sum.Shed + sum.Errors
+	if sum.QuantSwept > 0 {
+		sum.QuantPrunedFraction = float64(sum.QuantPruned) / float64(sum.QuantSwept)
+	}
 	sum.QPS = float64(sum.Successes) / elapsed.Seconds()
 	sum.LatencyMeanMs = ms(mean(all))
 	sum.LatencyP50Ms = ms(percentile(all, 50))

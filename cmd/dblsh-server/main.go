@@ -114,6 +114,7 @@ func main() {
 		shards      = flag.Int("shards", 1, "index shards for the demo corpus (an -index file carries its own layout)")
 		compactFrac = flag.Float64("compact-fraction", 0, "auto-compact a shard when its tombstoned fraction reaches this (0 disables)")
 		metricName  = flag.String("metric", "euclidean", "distance metric for the demo corpus: euclidean, cosine or ip (an -index file carries its own metric)")
+		quantize    = flag.String("quantize", "on", `int8 quantized verification pre-filter: "on" or "off" (results are identical either way; the flag is operational and applies to loaded indexes too)`)
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty disables)")
 
 		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently executing search/mutation requests (0 = unlimited)")
@@ -140,6 +141,7 @@ func main() {
 		sync: syncPolicy, syncEvery: syncEvery, checkpointEvery: *ckptEvery,
 		demoN: *demoN, demoDim: *demoDim, seed: *seed,
 		shards: *shards, compactFrac: *compactFrac, metric: met,
+		quantize: *quantize,
 	})
 	if err != nil {
 		log.Fatalf("dblsh-server: %v", err)
@@ -229,6 +231,7 @@ type config struct {
 	shards                     int
 	compactFrac                float64
 	metric                     dblsh.Metric
+	quantize                   string
 }
 
 func loadIndex(c config) (*dblsh.Index, error) {
@@ -237,7 +240,7 @@ func loadIndex(c config) (*dblsh.Index, error) {
 	}
 	opts := dblsh.Options{
 		Sync: c.sync, SyncEvery: c.syncEvery, CheckpointEvery: c.checkpointEvery,
-		CompactFraction: c.compactFrac,
+		CompactFraction: c.compactFrac, Quantize: c.quantize,
 	}
 	// A directory that already holds a checkpoint resumes from it; a fresh
 	// one is seeded (from -index or the demo corpus) and then reopened
@@ -275,9 +278,13 @@ func loadEphemeral(c config) (*dblsh.Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("load %s: %w", c.indexFile, err)
 		}
-		// The shard layout travels with the file; the compaction policy is
-		// operational and applies to loaded indexes too.
+		// The shard layout travels with the file; the compaction policy and
+		// the pre-filter flag are operational and apply to loaded indexes
+		// too.
 		if err := idx.SetCompactFraction(c.compactFrac); err != nil {
+			return nil, err
+		}
+		if err := idx.SetQuantize(c.quantize); err != nil {
 			return nil, err
 		}
 		log.Printf("loaded %s in %v", c.indexFile, time.Since(start).Round(time.Millisecond))
@@ -304,5 +311,6 @@ func loadEphemeral(c config) (*dblsh.Index, error) {
 	}
 	return dblsh.NewFromFlat(flat, c.demoN, c.demoDim, dblsh.Options{
 		Seed: c.seed, Shards: c.shards, CompactFraction: c.compactFrac, Metric: c.metric,
+		Quantize: c.quantize,
 	})
 }

@@ -144,6 +144,7 @@ type statsResponse struct {
 	T              int              `json:"t"`
 	C              float64          `json:"c"`
 	W0             float64          `json:"w0"`
+	Quantize       string           `json:"quantize"`
 	IndexSizeBytes int64            `json:"index_size_bytes"`
 	ShardCount     int              `json:"shard_count"`
 	Shards         []shardStatsJSON `json:"shards"`
@@ -180,6 +181,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		T:          p.T,
 		C:          p.C,
 		W0:         p.W0,
+		Quantize:   p.Quantize,
 		ShardCount: s.idx.Shards(),
 		Durability: durabilityStats(s.idx),
 	}
@@ -264,6 +266,8 @@ type queryStats struct {
 	FinalRadius  float64 `json:"final_radius"`
 	NodesVisited int     `json:"nodes_visited"`
 	FrontierSize int     `json:"frontier_size"`
+	QuantPruned  int     `json:"quant_pruned"`
+	QuantSwept   int     `json:"quant_swept"`
 }
 
 type searchResponse struct {
@@ -286,6 +290,8 @@ func toStats(st dblsh.Stats) *queryStats {
 		FinalRadius:  st.FinalRadius,
 		NodesVisited: st.NodesVisited,
 		FrontierSize: st.FrontierSize,
+		QuantPruned:  st.QuantPruned,
+		QuantSwept:   st.QuantSwept,
 	}
 }
 

@@ -196,6 +196,20 @@ type Options struct {
 	// Metric == InnerProduct.
 	NormBound float64
 
+	// Quantize controls the int8 quantized pre-filter on the verification
+	// path: "" or "on" (the default) maintains an int8 scalar-quantized
+	// mirror of the dataset (and of every R*-tree leaf) and uses it to
+	// prune candidates through a provable lower bound before any exact
+	// float32 distance work; "off" restores the exact single-stage path.
+	// The pre-filter never changes results — a candidate is pruned only
+	// when its quantized lower bound already exceeds the current k-th best
+	// distance, which the exact kernel would reject too — it only changes
+	// how much float32 work rejection costs. The setting is not persisted:
+	// an index reopened from a durable store uses the Options passed to
+	// Open (default on), and the mirrors are rebuilt from the restored
+	// vectors.
+	Quantize string
+
 	// The fields below configure the durability subsystem and apply only to
 	// indexes opened with Open; New and NewFromFlat build purely in-memory
 	// indexes and ignore them.
@@ -289,6 +303,11 @@ func newIndex(flat []float32, n, dim int, opts Options) (*Index, error) {
 	if opts.CompactFraction < 0 || opts.CompactFraction >= 1 {
 		return nil, fmt.Errorf("dblsh: CompactFraction must be in [0,1), got %v", opts.CompactFraction)
 	}
+	switch opts.Quantize {
+	case "", "on", "off":
+	default:
+		return nil, fmt.Errorf(`dblsh: Quantize must be "on" or "off", got %q`, opts.Quantize)
+	}
 	met, err := buildMetric(opts, flat, n, dim)
 	if err != nil {
 		return nil, err
@@ -310,6 +329,7 @@ func newIndex(flat []float32, n, dim int, opts Options) (*Index, error) {
 		EarlyStopFactor: opts.EarlyStopFactor,
 		Metric:          met.Kind(),
 		MetricNormBound: met.NormBound(),
+		Quantize:        opts.Quantize,
 	})
 	return &Index{set: set, dim: dim, met: met}, nil
 }
@@ -399,6 +419,16 @@ type Stats struct {
 	// ladder never had to touch. (For batch queries the per-query values
 	// are summed, like the other counters.)
 	FrontierSize int
+	// QuantPruned is the number of candidates the int8 quantized
+	// pre-filter rejected before any exact float32 distance work — a
+	// subset of Candidates (pruned rows still consume budget, exactly like
+	// early-abandoned rows). Zero with Options.Quantize "off".
+	QuantPruned int
+	// QuantSwept is QuantPruned's denominator: the candidates the
+	// pre-filter actually examined. The adaptive gate stops sweeping (and
+	// QuantSwept stops growing) while the observed prune rate is too low
+	// to pay for the sweep, so QuantSwept may trail Candidates.
+	QuantSwept int
 }
 
 // LastStats reports statistics for the most recent query on this searcher.
@@ -417,14 +447,22 @@ type Params struct {
 	// NormBound is the inner-product reduction's fitted norm bound M; 0
 	// under the other metrics.
 	NormBound float64
+	// Quantize is the effective pre-filter setting, normalized to "on" or
+	// "off".
+	Quantize string
 }
 
 // Params returns the parameters the index was built with.
 func (idx *Index) Params() Params {
 	cfg := idx.set.Params()
+	quant := "on"
+	if cfg.Quantize == "off" {
+		quant = "off"
+	}
 	return Params{
 		C: cfg.C, W0: cfg.W0, K: cfg.K, L: cfg.L, T: cfg.T,
 		Metric: Metric(cfg.Metric), NormBound: cfg.MetricNormBound,
+		Quantize: quant,
 	}
 }
 
@@ -529,6 +567,22 @@ func (idx *Index) SetCompactFraction(f float64) error {
 		return fmt.Errorf("dblsh: CompactFraction must be in [0,1), got %v", f)
 	}
 	idx.set.SetCompactFraction(f)
+	return nil
+}
+
+// SetQuantize switches the int8 quantized verification pre-filter on or
+// off — see Options.Quantize. Like the compaction threshold it is
+// operational, not persisted: an index loaded with Read starts with the
+// pre-filter on; use this to disable it. Enabling builds the int8 mirrors
+// (one pass over the data), disabling frees them. Results are identical
+// either way. Must not run concurrently with searches or mutations.
+func (idx *Index) SetQuantize(setting string) error {
+	switch setting {
+	case "", "on", "off":
+	default:
+		return fmt.Errorf(`dblsh: Quantize must be "on" or "off", got %q`, setting)
+	}
+	idx.set.SetQuantize(setting)
 	return nil
 }
 

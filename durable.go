@@ -336,6 +336,11 @@ func loadOrInitCheckpoint(dir string, opts Options) (idx *Index, lastCkpt time.T
 			return nil, time.Time{}, false, err
 		}
 	}
+	// So is the quantized pre-filter flag: the checkpoint rebuilds the int8
+	// mirrors with the default (on); apply the caller's setting.
+	if opts.Quantize != "" {
+		idx.set.SetQuantize(opts.Quantize)
+	}
 	if fi, err := os.Stat(path); err == nil {
 		lastCkpt = fi.ModTime()
 	}

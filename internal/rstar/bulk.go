@@ -52,8 +52,8 @@ func (t *Tree) packLeaves(ids []int32) []*node {
 	var leaves []*node
 	t.strTile(ids, 0, cap, func(chunk []int32) {
 		leaf := &node{leaf: true, level: 0, ids: append([]int32(nil), chunk...)}
-		t.rebuildLeafCoords(leaf)
 		t.recomputeLeafRect(leaf)
+		t.finalizeLeaf(leaf)
 		leaves = append(leaves, leaf)
 	})
 	return leaves

@@ -63,6 +63,30 @@ type Cursor struct {
 	emitted  []emitRec
 	returned []int32 // ascending emission ordinals handed back by Unpop
 
+	// Per-entry activation bounds of straddling leaves. When a leaf entry
+	// fails its window test, the failing axis yields a certain lower bound
+	// on the half-width any window needs before the entry can pass
+	// (activationLB); storing it lets later rounds skip the entry with one
+	// contiguous float compare instead of re-running the multi-axis test —
+	// the single hottest saving of the traversal, since a straddling leaf
+	// is revisited once per round and most of its entries activate rounds
+	// later. Blocks of lbStride float32s are handed out by lbAlloc (handle
+	// = 1-based block index; 0 means none) and ride along in cItem/frame;
+	// the arena is reset wholesale on seed, so stale bounds cannot leak
+	// across queries or re-arms.
+	lbArena  []float32
+	lbFree   []int32
+	lbStride int
+
+	// Quantized pre-test scratch: the current round's window bounds and
+	// center mapped into the code space of the straddling leaf being
+	// visited (valid only while that leaf's frame is on top of the stack,
+	// which is exactly when the per-entry loop runs). qlo/qhi are padded
+	// outward by quantGuardCode, so a code outside them is certainly
+	// outside the exact float32 window — the only direction the pre-test
+	// ever decides; everything else falls through to the exact test.
+	qlo, qhi, quc []float32
+
 	version   uint64 // tree version the frontier was seeded against
 	nodes     int    // nodes entered since Reset/ReArm
 	abandoned bool   // round discarded mid-walk; frontier no longer coherent
@@ -79,9 +103,10 @@ type Cursor struct {
 // comparisons.
 type cItem struct {
 	n      *node
-	thresh float32
-	dim    uint16
 	mask   uint64
+	thresh float32
+	lbs    int32 // per-entry activation-bound block handle (0: none)
+	dim    uint16
 }
 
 // frame is one level of an in-progress descent. Internal nodes walk
@@ -102,7 +127,10 @@ type frame struct {
 	minLB     float32
 	hint      int
 	pos       int32
+	lbs       int32 // leaf's activation-bound block handle (0: none yet)
 	contained bool
+	spanned   bool // leaf sort-axis span already cut out of rem this visit
+	quant     bool // cursor's code-space scratch is valid for this leaf visit
 }
 
 // emitRec records one emission: the leaf, the entry's index within it,
@@ -132,7 +160,52 @@ func NewCursor(t *Tree) *Cursor {
 	if t.opts.MaxEntries > 64 {
 		panic("rstar: cursor requires MaxEntries ≤ 64")
 	}
-	return &Cursor{t: t}
+	return &Cursor{t: t, lbStride: t.opts.MaxEntries}
+}
+
+// lbAlloc hands out a zeroed per-entry activation-bound block and returns
+// its 1-based handle (0 is "no block"). A zero bound never skips anything,
+// so a fresh block is always sound.
+func (c *Cursor) lbAlloc() int32 {
+	if n := len(c.lbFree); n > 0 {
+		h := c.lbFree[n-1]
+		c.lbFree = c.lbFree[:n-1]
+		blk := c.lbBlock(h)
+		for i := range blk {
+			blk[i] = 0
+		}
+		return h
+	}
+	// Growing by re-slice + explicit clear rather than append(make(...)...):
+	// the compiler's extendslice optimization is off under -race, where the
+	// temporary make would heap-allocate on every call and break the
+	// traversal's zero-alloc guarantee in the race CI job.
+	off := len(c.lbArena)
+	need := off + c.lbStride
+	if cap(c.lbArena) >= need {
+		c.lbArena = c.lbArena[:need]
+		blk := c.lbArena[off:need]
+		for i := range blk {
+			blk[i] = 0
+		}
+	} else {
+		c.lbArena = append(c.lbArena, make([]float32, c.lbStride)...)
+	}
+	return int32(need / c.lbStride)
+}
+
+// lbBlock resolves a handle from lbAlloc to its block.
+func (c *Cursor) lbBlock(h int32) []float32 {
+	off := int(h-1) * c.lbStride
+	return c.lbArena[off : off+c.lbStride : off+c.lbStride]
+}
+
+// lbFreeBlock returns a block to the free list (when its leaf is fully
+// reported and leaves the frontier).
+func (c *Cursor) lbFreeBlock(h int32) {
+	if h != 0 {
+		c.lbFree = append(c.lbFree, h)
+	}
 }
 
 // Reset seeds the frontier for a new query center, discarding all prior
@@ -156,6 +229,8 @@ func (c *Cursor) seed() {
 	c.nodes = 0
 	c.version = c.t.version
 	c.abandoned = false
+	c.lbArena = c.lbArena[:0]
+	c.lbFree = c.lbFree[:0]
 	if c.t.size == 0 {
 		return
 	}
@@ -205,11 +280,127 @@ func (c *Cursor) NextBatch(buf []int32) int {
 			f := &c.stack[len(c.stack)-1]
 			n := f.n
 			if n.leaf {
+				if !f.contained && !f.spanned && f.rem != 0 {
+					// The leaf's entries are sorted by its sort axis, so the
+					// window test on that axis is a positional span: two
+					// binary searches with the exact membership comparisons
+					// bound the entries that can possibly be inside, and
+					// everything outside certainly fails with no per-entry
+					// work. The nearest out-of-span entry on each side gives
+					// the smallest axis gap of all entries it excludes
+					// (sorted order), so folding just the two boundary gaps
+					// into minLB parks the leaf no later than per-entry
+					// testing would. Out-of-span entries are never reported
+					// (mask stays clear), so a wider round re-tests them.
+					f.spanned = true
+					ax := int(n.sortAxis)
+					wlo, whi := c.wlo[ax], c.whi[ax]
+					keys := n.keys
+					i, j := 0, len(keys)
+					for i < j {
+						h := int(uint(i+j) >> 1)
+						if keys[h] < wlo {
+							i = h + 1
+						} else {
+							j = h
+						}
+					}
+					lo := i
+					j = len(keys)
+					for i < j {
+						h := int(uint(i+j) >> 1)
+						if keys[h] <= whi {
+							i = h + 1
+						} else {
+							j = h
+						}
+					}
+					hi := i
+					if lo > 0 {
+						v := keys[lo-1]
+						if g := activationLB(c.center[ax]-v, v); g < f.minLB {
+							f.minLB = g
+						}
+						f.rem &^= fullMask(lo)
+					}
+					if hi < len(keys) {
+						v := keys[hi]
+						if g := activationLB(v-c.center[ax], v); g < f.minLB {
+							f.minLB = g
+						}
+						f.rem &= fullMask(hi)
+					}
+					if f.rem != 0 && c.t.opts.Quantize && n.qscale > 0 {
+						// Map the window and center into this leaf's code
+						// space once per visit; the per-entry pre-test then
+						// reads only the entry's own int8 code — a quarter
+						// of the coordinate mirror's cache footprint.
+						f.quant = true
+						if cap(c.qlo) < c.k {
+							c.qlo = make([]float32, c.k)
+							c.qhi = make([]float32, c.k)
+							c.quc = make([]float32, c.k)
+						}
+						c.qlo, c.qhi, c.quc = c.qlo[:c.k], c.qhi[:c.k], c.quc[:c.k]
+						inv := 1 / n.qscale
+						for d := 0; d < c.k; d++ {
+							c.qlo[d] = (c.wlo[d]-n.qoff)*inv - quantGuardCode
+							c.qhi[d] = (c.whi[d]-n.qoff)*inv + quantGuardCode
+							c.quc[d] = (c.center[d] - n.qoff) * inv
+						}
+					}
+				}
+				var lbs []float32
+				if f.lbs != 0 {
+					lbs = c.lbBlock(f.lbs)
+				}
 				for f.rem != 0 {
 					j := bits.TrailingZeros64(f.rem)
 					bit := uint64(1) << uint(j)
 					f.rem &^= bit
 					if !f.contained {
+						// An entry that failed in an earlier round recorded a
+						// certain lower bound on the half-width it needs; one
+						// contiguous compare skips it while the window is
+						// still provably short (the bound is per-axis and
+						// round-independent, so it stays valid as the window
+						// grows).
+						if lbs != nil {
+							if lb := lbs[j]; lb > c.h {
+								if lb < f.minLB {
+									f.minLB = lb
+								}
+								continue
+							}
+						}
+						// Quantized certain-exclusion pre-test on the hint
+						// axis: a code outside the guard-padded code-space
+						// window proves the exact float32 test would fail on
+						// the same axis, without touching the float32 row.
+						// The quantized activation bound is weaker than the
+						// exact one (guards shave it), which at worst re-tests
+						// the entry a round early — never a missed emission.
+						if f.quant {
+							d := f.hint
+							if cd := float32(n.qcoords[j*c.k+d]); cd < c.qlo[d] || cd > c.qhi[d] {
+								tc := cd - c.quc[d]
+								if tc < 0 {
+									tc = -tc
+								}
+								lb := quantLB(tc, n.qscale, c.center[d])
+								if lb < f.minLB {
+									f.minLB = lb
+								}
+								if lbs == nil {
+									f.lbs = c.lbAlloc()
+									lbs = c.lbBlock(f.lbs)
+								}
+								if lb > lbs[j] {
+									lbs[j] = lb
+								}
+								continue
+							}
+						}
 						// Window membership, hint axis first, against the
 						// leaf's contiguous coordinate block — the single
 						// hottest loop of the traversal.
@@ -237,6 +428,11 @@ func (c *Cursor) NextBatch(buf []int32) int {
 							if lb < f.minLB {
 								f.minLB = lb
 							}
+							if lbs == nil {
+								f.lbs = c.lbAlloc()
+								lbs = c.lbBlock(f.lbs)
+							}
+							lbs[j] = lb
 							continue
 						}
 					}
@@ -252,7 +448,9 @@ func (c *Cursor) NextBatch(buf []int32) int {
 				// has been reported, else park it with the smallest gap
 				// its unreported entries need.
 				if f.mask != fullMask(len(n.ids)) {
-					c.next = append(c.next, cItem{n: n, thresh: f.minLB, dim: uint16(c.k), mask: f.mask})
+					c.next = append(c.next, cItem{n: n, thresh: f.minLB, dim: uint16(c.k), mask: f.mask, lbs: f.lbs})
+				} else {
+					c.lbFreeBlock(f.lbs)
 				}
 				c.stack = c.stack[:len(c.stack)-1]
 				continue
@@ -308,6 +506,7 @@ func (c *Cursor) pushFrame(it cItem, contained bool) {
 		minLB:     maxFloat32,
 		hint:      int(it.dim) % c.k,
 		pos:       int32(len(c.next)),
+		lbs:       it.lbs,
 		contained: contained,
 	}
 	if it.n.leaf {
@@ -374,6 +573,32 @@ func activationLB(t, m float32) float32 {
 	return g
 }
 
+// quantGuardCode pads the code-space window by the quantized twin's total
+// uncertainty, in code units: quantGuard (0.51) of round-to-nearest error
+// plus 0.01 absorbing the float32 roundings of the window-to-code-space
+// mapping itself, which at the only magnitudes where the comparison can be
+// borderline (|code| ≤ 127) are ~10⁻⁵ code units. A code outside the padded
+// window therefore certainly dequantizes outside the exact window.
+const quantGuardCode = 0.52
+
+// quantLB is activationLB for a gap measured in code units: tc codes of
+// separation between an entry and the center certainly require a half-width
+// of (tc − quantGuardCode)·scale before the entry can enter any window. The
+// wider eps absorbs the extra dequantization and code-space-mapping
+// roundings on top of activationLB's two.
+func quantLB(tc, scale, m float32) float32 {
+	if m < 0 {
+		m = -m
+	}
+	const eps = 1e-6 // ~8 × 2⁻²³
+	g := (tc - quantGuardCode) * scale
+	g = g - (g+m)*eps - 3e-44
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
 // EndRound closes the current round, whether drained or abandoned early:
 // in-progress descents unwind into the frontier (their unexamined
 // remainders, in depth-first order) followed by the unexamined tail of
@@ -386,9 +611,12 @@ func (c *Cursor) EndRound() {
 		if f.n.leaf {
 			// Unexamined entries remain (rem); entries that failed this
 			// round's test stay unreported too. Re-test everything
-			// unreported next round.
+			// unreported next round (stored per-entry bounds keep the
+			// re-tests cheap).
 			if f.mask != fullMask(len(f.n.ids)) {
-				c.next = append(c.next, cItem{n: f.n, dim: uint16(c.k), mask: f.mask})
+				c.next = append(c.next, cItem{n: f.n, dim: uint16(c.k), mask: f.mask, lbs: f.lbs})
+			} else {
+				c.lbFreeBlock(f.lbs)
 			}
 			continue
 		}

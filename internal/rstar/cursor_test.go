@@ -288,3 +288,105 @@ func TestCursorInsertedTreeEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// quantTree is cursorTree with the int8 leaf twin enabled.
+func quantTree(t *testing.T, seed int64, n, dim, insert int) (*Tree, *vec.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		for j := 0; j < dim; j++ {
+			m.Row(i)[j] = float32(rng.NormFloat64() * 10)
+		}
+	}
+	tr := BulkLoad(m, Options{Quantize: true})
+	for i := 0; i < insert; i++ {
+		p := make([]float32, dim)
+		for j := range p {
+			p[j] = float32(rng.NormFloat64() * 10)
+		}
+		tr.Insert(m.Append(p))
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants: %s", msg)
+	}
+	return tr, m
+}
+
+// TestCursorQuantizedLadderEquivalence re-runs the rstar-level differential
+// test with the int8 leaf twin enabled: the quantized certain-exclusion
+// pre-test must leave every round's emission stream identical to the window
+// re-scan's, id for id and in depth-first order — the twin may only skip
+// entries the exact test would also reject.
+func TestCursorQuantizedLadderEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		tr, m := quantTree(t, seed, 300+int(seed)*50, 4, 120)
+		rng := rand.New(rand.NewSource(seed ^ 0x9e37))
+		center := make([]float32, m.Dim())
+		for j := range center {
+			center[j] = float32(rng.NormFloat64() * 10)
+		}
+		cur := NewCursor(tr)
+		cur.Reset(center)
+		reported := map[int32]bool{}
+		half := 0.5
+		for round := 0; round < 14; round++ {
+			want := oracleRound(tr, center, half, reported)
+			got := drainRound(cur, half)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d round %d: cursor emitted %d, window re-scan %d", seed, round, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d round %d: emission %d = %d, want %d (order mismatch)", seed, round, i, got[i], want[i])
+				}
+				reported[got[i]] = true
+			}
+			half *= 1.5
+		}
+	}
+}
+
+// TestQuantizedTwinTracksMutation pins the twin's maintenance contract:
+// every leaf mutation (sorted inserts, splits, forced reinsertion,
+// compaction-style rebuilds) must refit the leaf's int8 twin so each code
+// dequantizes to within qscale·quantGuard of its float32 coordinate —
+// the error bound CheckInvariants enforces per element.
+func TestQuantizedTwinTracksMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	m := vec.NewMatrix(150, 6)
+	for i := 0; i < 150; i++ {
+		for j := 0; j < 6; j++ {
+			m.Row(i)[j] = float32(rng.NormFloat64() * 10)
+		}
+	}
+	tr := BulkLoad(m, Options{Quantize: true})
+	for i := 0; i < 600; i++ {
+		p := make([]float32, 6)
+		for j := range p {
+			p[j] = float32(rng.NormFloat64() * 10)
+		}
+		tr.Insert(m.Append(p))
+		if i%40 == 0 {
+			if msg := tr.CheckInvariants(); msg != "" {
+				t.Fatalf("after insert %d: %s", i, msg)
+			}
+		}
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("final: %s", msg)
+	}
+	// Degenerate leaves: identical points give qscale == 0 twins.
+	dm := vec.NewMatrix(40, 3)
+	for i := 0; i < 40; i++ {
+		copy(dm.Row(i), []float32{1, 2, 3})
+	}
+	dt := BulkLoad(dm, Options{Quantize: true})
+	if msg := dt.CheckInvariants(); msg != "" {
+		t.Fatalf("degenerate: %s", msg)
+	}
+	got := dt.WindowAll(WindowRect([]float32{1, 2, 3}, 0.5))
+	if len(got) != 40 {
+		t.Fatalf("degenerate window: got %d of 40", len(got))
+	}
+}

@@ -210,6 +210,44 @@ func (t *Tree) CheckInvariants() string {
 					}
 				}
 			}
+			if int(n.sortAxis) >= t.dim {
+				return "leaf sort axis out of range"
+			}
+			if len(n.keys) != len(n.ids) {
+				return "leaf keys mirror out of sync"
+			}
+			for j := range n.keys {
+				if n.keys[j] != n.coords[j*t.dim+int(n.sortAxis)] {
+					return "leaf keys mirror stale"
+				}
+			}
+			for j := 1; j < len(n.ids); j++ {
+				ax := int(n.sortAxis)
+				va, vb := n.coords[(j-1)*t.dim+ax], n.coords[j*t.dim+ax]
+				if va > vb || (va == vb && n.ids[j-1] > n.ids[j]) {
+					return "leaf entries not sorted by sort axis"
+				}
+			}
+			if t.opts.Quantize {
+				if len(n.qcoords) != len(n.coords) {
+					return "leaf quantized twin out of sync"
+				}
+				for i, v := range n.coords {
+					approx := float64(n.qoff) + float64(n.qscale)*float64(n.qcoords[i])
+					tol := float64(n.qscale) * quantGuard
+					if n.qscale == 0 {
+						if float64(v) != float64(n.qoff) {
+							return "leaf quantized twin degenerate but values differ"
+						}
+						continue
+					}
+					if diff := float64(v) - approx; diff > tol || diff < -tol {
+						return "leaf quantized twin outside error bound"
+					}
+				}
+			} else if n.qcoords != nil {
+				return "leaf quantized twin present without Options.Quantize"
+			}
 		} else {
 			if len(n.children) == 0 {
 				return "internal node with no children"

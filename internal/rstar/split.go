@@ -60,11 +60,11 @@ func (t *Tree) splitLeaf(n *node) *node {
 
 	siblingIDs := append([]int32(nil), ids[bestCut:]...)
 	n.ids = ids[:bestCut]
-	t.rebuildLeafCoords(n)
 	t.recomputeLeafRect(n)
+	t.finalizeLeaf(n)
 	sibling := &node{leaf: true, level: 0, ids: siblingIDs}
-	t.rebuildLeafCoords(sibling)
 	t.recomputeLeafRect(sibling)
+	t.finalizeLeaf(sibling)
 	return sibling
 }
 

@@ -2,6 +2,7 @@ package rstar
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"dblsh/internal/vec"
@@ -21,6 +22,15 @@ type Options struct {
 	// MinEntries is the minimum fill m (2 ≤ m ≤ M/2). Defaults to 40% of M,
 	// the value recommended in the R*-tree paper.
 	MinEntries int
+	// Quantize maintains an int8 affine-quantized twin of every leaf's
+	// coordinate mirror (node.qcoords), refitted per leaf against its own
+	// value range on every leaf mutation. The cursor uses it as a
+	// certain-exclusion pre-test: an entry whose quantized coordinate is
+	// provably outside the window even after the quantization error bound
+	// is skipped without touching its float32 coordinates, and everything
+	// else falls through to the exact test — the emitted stream is
+	// identical either way.
+	Quantize bool
 }
 
 func (o Options) withDefaults() Options {
@@ -54,6 +64,29 @@ type node struct {
 	coords []float32
 	leaf   bool
 	level  int // 0 = leaf
+	// sortAxis is the axis the leaf's entries are kept sorted by (ascending,
+	// ties by id) — chosen as the leaf rect's widest axis whenever the id set
+	// is rebuilt wholesale, and preserved by in-place sorted insertion. The
+	// cursor exploits the order to turn the window test on this axis into a
+	// positional span (see Cursor.NextBatch).
+	sortAxis uint16
+	// keys duplicates the sort-axis coordinate of each entry contiguously
+	// (keys[j] == coords[j*dim+sortAxis]), so the span binary search touches
+	// two or three cache lines instead of one strided line per probe.
+	keys []float32
+	// qcoords is the int8 affine-quantized twin of coords (same layout, ¼
+	// the bytes: a whole leaf's codes fit in a couple of cache lines), with
+	// coords[i] ≈ qoff + qscale·qcoords[i] to within qscale/2 plus float
+	// rounding. Present only when Options.Quantize is set; nil otherwise.
+	// Aliasing contract: qcoords never aliases coords or the tree's data
+	// matrix — it is refitted wholesale (quantizeLeaf) by every mutation
+	// that touches coords, so within any span where the tree is unmutated
+	// the twin is consistent with the mirror (CheckInvariants verifies the
+	// error bound). qscale == 0 means the leaf's values span no range (or
+	// the leaf is empty) and the twin carries no information.
+	qcoords []int8
+	qscale  float32
+	qoff    float32
 }
 
 // entry returns the coordinates of the leaf's j-th entry from the
@@ -145,23 +178,163 @@ func (t *Tree) Insert(id int) {
 func (t *Tree) Version() uint64 { return t.version }
 
 func (t *Tree) insertPoint(id int32) {
-	r := PointRect(t.point(id))
+	p := t.point(id)
+	r := PointRect(p)
 	path := t.descend(r, 0)
 	leafN := path[len(path)-1]
 	wasEmpty := len(leafN.ids) == 0
-	leafN.ids = append(leafN.ids, id)
-	leafN.coords = append(leafN.coords, t.point(id)...)
+
+	// Insert at the position that keeps the leaf sorted by its sort axis
+	// (ties after equals, then by id — any stable deterministic rule works;
+	// the cursor only needs the stored order to be non-decreasing).
+	ax := int(leafN.sortAxis)
+	v := p[ax]
+	i, j := 0, len(leafN.ids)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if w := leafN.keys[h]; w < v || (w == v && leafN.ids[h] < id) {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	pos := i
+	leafN.ids = append(leafN.ids, 0)
+	copy(leafN.ids[pos+1:], leafN.ids[pos:])
+	leafN.ids[pos] = id
+	leafN.keys = append(leafN.keys, 0)
+	copy(leafN.keys[pos+1:], leafN.keys[pos:])
+	leafN.keys[pos] = v
+	leafN.coords = append(leafN.coords, p...)
+	copy(leafN.coords[(pos+1)*t.dim:], leafN.coords[pos*t.dim:len(leafN.coords)-t.dim])
+	copy(leafN.coords[pos*t.dim:(pos+1)*t.dim], p)
+	t.quantizeLeaf(leafN)
+
 	t.expandPath(path, r, wasEmpty)
 	t.handleOverflow(path)
+}
+
+// finalizeLeaf (re)establishes the leaf scan layout after its id set changed
+// wholesale: the sort axis is re-chosen as the widest axis of the leaf's
+// rect (which callers must have recomputed tightly first), the ids are
+// sorted by that axis (ties by id), and the contiguous coordinate mirror is
+// rebuilt to match.
+func (t *Tree) finalizeLeaf(n *node) {
+	axis := 0
+	if len(n.ids) > 0 {
+		widest := n.rect.Max[0] - n.rect.Min[0]
+		for d := 1; d < t.dim; d++ {
+			if e := n.rect.Max[d] - n.rect.Min[d]; e > widest {
+				widest, axis = e, d
+			}
+		}
+	}
+	n.sortAxis = uint16(axis)
+	sort.Slice(n.ids, func(a, b int) bool {
+		va, vb := t.point(n.ids[a])[axis], t.point(n.ids[b])[axis]
+		if va != vb {
+			return va < vb
+		}
+		return n.ids[a] < n.ids[b]
+	})
+	t.rebuildLeafCoords(n)
 }
 
 // rebuildLeafCoords refreshes a leaf's contiguous coordinate mirror after
 // its id set was reordered or cut.
 func (t *Tree) rebuildLeafCoords(n *node) {
 	n.coords = n.coords[:0]
+	n.keys = n.keys[:0]
+	ax := int(n.sortAxis)
 	for _, id := range n.ids {
-		n.coords = append(n.coords, t.point(id)...)
+		p := t.point(id)
+		n.coords = append(n.coords, p...)
+		n.keys = append(n.keys, p[ax])
 	}
+	t.quantizeLeaf(n)
+}
+
+// quantGuard is the certain error allowance of the leaf twin in code units:
+// 0.5 of nearest-integer rounding plus generous headroom for every float32
+// rounding in the affine map and its consumers. Consumers treat a code as
+// "true value within qscale·quantGuard of its dequantization"; widening the
+// guard only weakens the accelerator, never correctness.
+const quantGuard = 0.51
+
+// quantizeLeaf refits a leaf's int8 twin from its coordinate mirror: one
+// affine map per leaf, fitted to the leaf's own min/max across all axes.
+// Refitting wholesale on every mutation keeps the twin trivially consistent
+// (a leaf holds ≤ MaxEntries+1 entries, so the refit is a few hundred
+// multiply-rounds at most).
+func (t *Tree) quantizeLeaf(n *node) {
+	if !t.opts.Quantize {
+		return
+	}
+	if cap(n.qcoords) < len(n.coords) {
+		n.qcoords = make([]int8, len(n.coords))
+	}
+	n.qcoords = n.qcoords[:len(n.coords)]
+	if len(n.coords) == 0 {
+		n.qscale, n.qoff = 0, 0
+		return
+	}
+	lo, hi := n.coords[0], n.coords[0]
+	for _, v := range n.coords[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if !(hi > lo) {
+		n.qscale, n.qoff = 0, lo
+		for i := range n.qcoords {
+			n.qcoords[i] = 0
+		}
+		return
+	}
+	scale := (hi - lo) / 254
+	off := lo + (hi-lo)/2
+	n.qscale, n.qoff = scale, off
+	inv := 1 / float64(scale)
+	for i, v := range n.coords {
+		u := math.Round((float64(v) - float64(off)) * inv)
+		if u > 127 {
+			u = 127
+		} else if u < -127 {
+			u = -127
+		}
+		n.qcoords[i] = int8(u)
+	}
+}
+
+// SetQuantize enables or disables the leaf twins on a built tree — the
+// operational toggle for restore paths, since Options.Quantize itself is
+// not persisted. Enabling refits every leaf; disabling drops the twins.
+// Not safe concurrently with queries or mutations; live cursors observe a
+// version bump and re-arm.
+func (t *Tree) SetQuantize(on bool) {
+	if t.opts.Quantize == on {
+		return
+	}
+	t.opts.Quantize = on
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			if on {
+				t.quantizeLeaf(n)
+			} else {
+				n.qcoords, n.qscale, n.qoff = nil, 0, 0
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	t.version++
 }
 
 func (t *Tree) insertSubtree(sub *node) {
@@ -248,8 +421,8 @@ func (t *Tree) forceReinsert(n *node, path []*node) {
 		})
 		evicted := append([]int32(nil), ids[:p]...)
 		n.ids = ids[p:]
-		t.rebuildLeafCoords(n)
 		t.recomputeLeafRect(n)
+		t.finalizeLeaf(n)
 		tightenPath(path)
 		// Close reinsert: nearest evictions first.
 		for i := len(evicted) - 1; i >= 0; i-- {
@@ -390,7 +563,7 @@ func (t *Tree) ComputeStats() Stats {
 		if n.leaf {
 			s.Leaves++
 			s.Entries += len(n.ids)
-			s.BytesApprox += int64(len(n.ids))*4 + int64(len(n.coords))*4
+			s.BytesApprox += int64(len(n.ids))*4 + int64(len(n.coords))*4 + int64(len(n.keys))*4 + int64(len(n.qcoords))
 			return
 		}
 		s.BytesApprox += int64(len(n.children)) * 8

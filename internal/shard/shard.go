@@ -298,6 +298,19 @@ func (s *Set) Dim() int { return s.dim }
 // Params returns the resolved build configuration (base seed).
 func (s *Set) Params() core.Config { return s.cfg }
 
+// SetQuantize applies a quantized pre-filter setting to every shard and to
+// the configuration future compactions rebuild from. The restore paths use
+// it: the setting is operational, not persisted. Call before the set
+// serves concurrent traffic — it mutates shared configuration unlocked.
+func (s *Set) SetQuantize(q string) {
+	s.cfg.Quantize = q
+	for _, st := range s.shards {
+		st.mu.Lock()
+		st.idx.SetQuantize(q)
+		st.mu.Unlock()
+	}
+}
+
 // NextID returns the global-id-space bound: every id ever returned by Add
 // (and every build-time id) is below it.
 func (s *Set) NextID() int { return int(s.nextID.Load()) }
@@ -666,6 +679,8 @@ type Searcher struct {
 	began      []bool       // shard i's searcher saw Begin for this query
 	seenG      map[int]bool // global-id dedup across a mid-query index swap
 	carryNodes int          // traversal nodes from searchers discarded mid-query
+	carryQPr   int          // quant-pruned count from searchers discarded mid-query
+	carryQSw   int          // quant-swept count from searchers discarded mid-query
 }
 
 // NewSearcher returns a searcher bound to the set. Per-shard core searchers
@@ -691,8 +706,12 @@ func (sr *Searcher) searcherFor(i int) *core.Searcher {
 	if sr.seen[i] != st.idx {
 		if sr.began[i] && sr.per[i] != nil {
 			// A swap mid-query discards the old searcher; carry its
-			// traversal counters so the query's stats stay complete.
-			sr.carryNodes += sr.per[i].LastStats().NodesVisited
+			// traversal and pre-filter counters so the query's stats stay
+			// complete.
+			old := sr.per[i].LastStats()
+			sr.carryNodes += old.NodesVisited
+			sr.carryQPr += old.QuantPruned
+			sr.carryQSw += old.QuantSwept
 		}
 		sr.per[i] = st.idx.NewSearcher()
 		sr.seen[i] = st.idx
@@ -741,7 +760,7 @@ func (sr *Searcher) searchCoordinated(q []float32, k int, p core.QueryParams) ([
 	c := s.cfg.C
 
 	sr.last = core.Stats{}
-	sr.carryNodes = 0
+	sr.carryNodes, sr.carryQPr, sr.carryQSw = 0, 0, 0
 	for i := range sr.began {
 		sr.began[i] = false
 	}
@@ -811,16 +830,21 @@ func (sr *Searcher) searchCoordinated(q []float32, k int, p core.QueryParams) ([
 	return cand.Results(), nil
 }
 
-// finishTraversalStats folds the per-shard searchers' traversal counters
-// into the merged stats: nodes visited across every shard's trees
-// (including searchers a mid-query compaction swap discarded), and the
-// residual frontier size of every cursor the query armed.
+// finishTraversalStats folds the per-shard searchers' traversal and
+// pre-filter counters into the merged stats: nodes visited and quantized
+// pre-filter activity across every shard's trees (including searchers a
+// mid-query compaction swap discarded), and the residual frontier size of
+// every cursor the query armed.
 func (sr *Searcher) finishTraversalStats() {
 	sr.last.NodesVisited += sr.carryNodes
+	sr.last.QuantPruned += sr.carryQPr
+	sr.last.QuantSwept += sr.carryQSw
 	for i := range sr.set.shards {
 		if sr.began[i] && sr.per[i] != nil {
 			st := sr.per[i].LastStats()
 			sr.last.NodesVisited += st.NodesVisited
+			sr.last.QuantPruned += st.QuantPruned
+			sr.last.QuantSwept += st.QuantSwept
 			sr.last.Frontier += sr.per[i].FrontierLen()
 		}
 	}
@@ -929,8 +953,11 @@ func (sr *Searcher) SearchRadius(q []float32, r float64, p core.QueryParams) (ve
 		if ok {
 			nb.ID = st.globals[nb.ID]
 		}
-		spent := cs.LastStats().Candidates
-		agg.NodesVisited += cs.LastStats().NodesVisited
+		cst := cs.LastStats()
+		spent := cst.Candidates
+		agg.NodesVisited += cst.NodesVisited
+		agg.QuantPruned += cst.QuantPruned
+		agg.QuantSwept += cst.QuantSwept
 		st.mu.RUnlock()
 		agg.Candidates += spent
 		remaining -= spent

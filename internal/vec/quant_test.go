@@ -1,0 +1,296 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quantMatrix builds a random matrix and its int8 mirror for the quant
+// tests: rows×dim standard-normal values scaled by spread.
+func quantMatrix(seed int64, rows, dim int, spread float64) (*Matrix, *QuantMatrix, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(rows, dim)
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64() * spread)
+		}
+	}
+	return m, NewQuantMatrix(m), rng
+}
+
+// TestQuantBoundProperty is the central soundness property: across random
+// data, queries and every dispatched kernel, the quantized lower bound must
+// never exceed the exact squared distance — the inequality the two-stage
+// verification path's result-identity rests on.
+func TestQuantBoundProperty(t *testing.T) {
+	defer SetKernel(KernelName())
+	for _, spread := range []float64{0.01, 1, 1000} {
+		m, qm, rng := quantMatrix(31, 200, 24, spread)
+		for trial := 0; trial < 50; trial++ {
+			q := make([]float32, m.Dim())
+			for j := range q {
+				q[j] = float32(rng.NormFloat64() * spread)
+			}
+			var u []float64
+			u = qm.QuantizeQueryUnits(q, u)
+			for _, name := range KernelNames() {
+				if err := SetKernel(name); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < m.Rows(); i++ {
+					lb := qm.LowerBoundSq(u, i)
+					exact := scalarSquaredDist(q, m.Row(i))
+					if lb > exact {
+						t.Fatalf("spread %v kernel %s row %d: lower bound %v exceeds exact %v",
+							spread, name, i, lb, exact)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuantDequantError pins the advertised reconstruction error: every
+// mirrored in-range value dequantizes back to within Scale()/2 (plus float
+// rounding) of the original.
+func TestQuantDequantError(t *testing.T) {
+	m, qm, _ := quantMatrix(7, 300, 16, 5)
+	tol := float64(qm.Scale()) * 0.5001
+	d := m.Dim()
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		codes := qm.RowCodes(i)
+		if len(codes) != d {
+			t.Fatalf("row %d: %d codes for dim %d", i, len(codes), d)
+		}
+		for j, v := range row {
+			back := float64(qm.off) + float64(qm.scale)*float64(codes[j])
+			if diff := math.Abs(back - float64(v)); diff > tol {
+				t.Fatalf("row %d[%d]: dequant error %v exceeds %v (scale %v)", i, j, diff, tol, qm.Scale())
+			}
+		}
+	}
+}
+
+// TestQuantKernelsMatchScalar property-tests the dispatched lower-bound
+// kernels against the scalar oracle across awkward dims.
+func TestQuantKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for dim := 1; dim <= 40; dim++ {
+		u := make([]float64, dim)
+		codes := make([]int8, dim)
+		for trial := 0; trial < 20; trial++ {
+			for j := range u {
+				u[j] = rng.NormFloat64() * 64
+				codes[j] = int8(rng.Intn(255) - 127)
+			}
+			want := quantLBScalar(u, codes)
+			got := quantLBWide(u, codes)
+			if math.Abs(got-want) > 1e-9*(1+want) {
+				t.Fatalf("dim %d: quantLBWide = %v, scalar = %v", dim, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantAliasingContract is the regression test for the mirror's
+// copy-by-value contract: mutating a row through the parent matrix leaves
+// its codes stale (CheckRow reports it), UpdateRow refreshes them, and Sync
+// catches the mirror up after appends.
+func TestQuantAliasingContract(t *testing.T) {
+	m, qm, rng := quantMatrix(3, 50, 8, 5)
+	if !qm.CheckRow(17) {
+		t.Fatal("fresh mirror reports row 17 stale")
+	}
+	// In-place mutation through the aliasing Row view: the mirror must not
+	// see it until UpdateRow.
+	m.Row(17)[2] += 3
+	if qm.CheckRow(17) {
+		t.Fatal("mutated row 17 still reports fresh codes")
+	}
+	qm.UpdateRow(17)
+	if !qm.CheckRow(17) {
+		t.Fatal("UpdateRow did not refresh row 17")
+	}
+	// Appended rows are invisible until Sync.
+	p := make([]float32, m.Dim())
+	for j := range p {
+		p[j] = float32(rng.NormFloat64() * 5)
+	}
+	id := m.Append(p)
+	if qm.Rows() != 50 {
+		t.Fatalf("mirror grew to %d rows without Sync", qm.Rows())
+	}
+	qm.Sync()
+	if qm.Rows() != 51 || !qm.CheckRow(id) {
+		t.Fatalf("Sync left %d rows, row %d fresh=%v", qm.Rows(), id, qm.CheckRow(id))
+	}
+	// A far-out-of-range mutation forces a refit that keeps every row's
+	// bound guarantee intact.
+	m.Row(5)[0] = 1e6
+	qm.UpdateRow(5)
+	for i := 0; i <= id; i++ {
+		if !qm.CheckRow(i) {
+			t.Fatalf("row %d stale after refit", i)
+		}
+	}
+}
+
+// TestQuantPrefilterIdentity is the result-identity test: on random data
+// the pre-filtered bounded sweep must report, row for row, a value the
+// plain bounded sweep could have reported — exact for every row under the
+// bound, +Inf (or the exact above-bound value) for the rest — so a top-k
+// built from either output is identical.
+func TestQuantPrefilterIdentity(t *testing.T) {
+	m, qm, rng := quantMatrix(41, 500, 32, 5)
+	ids := make([]int, 128)
+	for trial := 0; trial < 30; trial++ {
+		q := make([]float32, m.Dim())
+		for j := range q {
+			q[j] = float32(rng.NormFloat64() * 5)
+		}
+		for j := range ids {
+			ids[j] = rng.Intn(m.Rows())
+		}
+		var u []float64
+		u = qm.QuantizeQueryUnits(q, u)
+		exact := make([]float64, len(ids))
+		SquaredDistsTo(q, m, ids, exact)
+		bound := medianOf(exact)
+		got := make([]float64, len(ids))
+		pruned := SquaredDistsToBoundedQuant(q, u, m, qm, ids, bound, got)
+		seen := 0
+		for i := range got {
+			switch {
+			case math.Abs(exact[i]-bound) <= 1e-6*(1+bound):
+				// Rounding at the bound itself may tip either way.
+			case exact[i] < bound:
+				if math.Abs(got[i]-exact[i]) > 1e-6*(1+exact[i]) {
+					t.Fatalf("trial %d row %d: prefiltered %v, exact %v (bound %v)", trial, i, got[i], exact[i], bound)
+				}
+			default:
+				if got[i] < bound*(1-1e-6) {
+					t.Fatalf("trial %d row %d: prefiltered %v claims under bound %v, exact %v", trial, i, got[i], bound, exact[i])
+				}
+			}
+			if math.IsInf(got[i], 1) {
+				seen++
+			}
+		}
+		if pruned < 0 || pruned > seen {
+			t.Fatalf("trial %d: pruned count %d exceeds %d +Inf rows", trial, pruned, seen)
+		}
+		// An infinite bound disables the pre-filter entirely.
+		if p := SquaredDistsToBoundedQuant(q, u, m, qm, ids, math.Inf(1), got); p != 0 {
+			t.Fatalf("trial %d: infinite bound pruned %d rows", trial, p)
+		}
+		for i := range got {
+			if math.Abs(got[i]-exact[i]) > 1e-6*(1+exact[i]) {
+				t.Fatalf("trial %d row %d: unbounded prefiltered %v, exact %v", trial, i, got[i], exact[i])
+			}
+		}
+	}
+}
+
+// FuzzQuantBound fuzzes the two quantization guarantees: the lower bound
+// never exceeds the exact squared distance (under every kernel), and every
+// mirrored value dequantizes within the advertised Scale()/2 epsilon.
+func FuzzQuantBound(f *testing.F) {
+	f.Add(uint8(4), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add(uint8(1), []byte{0, 255})
+	f.Add(uint8(9), make([]byte, 9*4))
+	f.Fuzz(func(t *testing.T, dimRaw uint8, raw []byte) {
+		dim := int(dimRaw%32) + 1
+		vals := make([]float32, len(raw))
+		for i, b := range raw {
+			vals[i] = float32(int8(b)) * 0.25
+		}
+		if len(vals) < 2*dim {
+			return
+		}
+		q := vals[:dim]
+		rows := (len(vals) - dim) / dim
+		m := WrapMatrix(vals[dim:dim+rows*dim], rows, dim)
+		qm := NewQuantMatrix(m)
+		tol := float64(qm.Scale()) * 0.5001
+		var u []float64
+		u = qm.QuantizeQueryUnits(q, u)
+		defer SetKernel(KernelName())
+		for _, name := range KernelNames() {
+			if err := SetKernel(name); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < rows; i++ {
+				lb := qm.LowerBoundSq(u, i)
+				exact := scalarSquaredDist(q, m.Row(i))
+				if lb > exact {
+					t.Fatalf("kernel %s row %d: lower bound %v exceeds exact %v", name, i, lb, exact)
+				}
+			}
+		}
+		for i := 0; i < rows; i++ {
+			row := m.Row(i)
+			codes := qm.RowCodes(i)
+			for j, v := range row {
+				back := float64(qm.off) + float64(qm.scale)*float64(codes[j])
+				if diff := math.Abs(back - float64(v)); diff > tol {
+					t.Fatalf("row %d[%d]: dequant error %v exceeds %v", i, j, diff, tol)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkQuantKernels times the quantized lower-bound kernel and the full
+// pre-filtered sweep against the same verification block shape as
+// BenchmarkDistKernels (64 candidates of dim 128 from a 4096-row matrix).
+func BenchmarkQuantKernels(b *testing.B) {
+	const (
+		dim   = 128
+		rows  = 4096
+		block = 64
+	)
+	rng := rand.New(rand.NewSource(5))
+	m := NewMatrix(rows, dim)
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64())
+		}
+	}
+	qm := NewQuantMatrix(m)
+	q := make([]float32, dim)
+	for j := range q {
+		q[j] = float32(rng.NormFloat64())
+	}
+	ids := make([]int, block)
+	for i := range ids {
+		ids[i] = rng.Intn(rows)
+	}
+	out := make([]float64, block)
+	var u []float64
+	u = qm.QuantizeQueryUnits(q, u)
+	exact := make([]float64, block)
+	SquaredDistsTo(q, m, ids, exact)
+	bound := medianOf(exact) / 2
+
+	b.Run("quantized-lb", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, id := range ids {
+				out[j] = qm.LowerBoundSq(u, id)
+			}
+		}
+	})
+	b.Run("quantized-prefilter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SquaredDistsToBoundedQuant(q, u, m, qm, ids, bound, out)
+		}
+	})
+	b.Run("bounded-no-prefilter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SquaredDistsToBounded(q, m, ids, bound, out)
+		}
+	})
+}

@@ -13,8 +13,15 @@ import (
 )
 
 // Dot returns the inner product of a and b. The slices must have equal
-// length; zero-length inputs return 0.
+// length; zero-length inputs return 0. The computation routes through the
+// runtime-dispatched kernel table (see SetKernel); variants may differ in
+// summation order and therefore in the last ulps of the result.
 func Dot(a, b []float32) float64 {
+	return activeKernel.dot(a, b)
+}
+
+// dotUnrolled is the 4×-unrolled dot kernel, the dispatch default.
+func dotUnrolled(a, b []float32) float64 {
 	if len(a) == 0 {
 		return 0
 	}
@@ -42,8 +49,15 @@ func Dot(a, b []float32) float64 {
 // nearly all its time here. Component differences are taken in float32 (one
 // conversion per element instead of two; the half-ulp it rounds away is at
 // the input data's own precision), then squared and accumulated in float64
-// so long sums never cancel catastrophically.
+// so long sums never cancel catastrophically. Routes through the
+// runtime-dispatched kernel table (see SetKernel).
 func SquaredDist(a, b []float32) float64 {
+	return activeKernel.squaredDist(a, b)
+}
+
+// squaredDistUnrolled is the 4×-unrolled squared-distance kernel, the
+// dispatch default.
+func squaredDistUnrolled(a, b []float32) float64 {
 	if len(a) == 0 {
 		return 0
 	}

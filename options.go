@@ -156,6 +156,8 @@ func statsFromCore(st core.Stats) Stats {
 		FinalRadius:  st.FinalR,
 		NodesVisited: st.NodesVisited,
 		FrontierSize: st.Frontier,
+		QuantPruned:  st.QuantPruned,
+		QuantSwept:   st.QuantSwept,
 	}
 }
 

@@ -1,0 +1,89 @@
+package dblsh
+
+import (
+	"testing"
+)
+
+// TestQuantizeOnOffIdentity is the public-API result-identity contract for
+// the quantized pre-filter: the same index built with Quantize "on" and
+// "off" returns byte-identical hits for every query, under Euclidean and
+// under a metric reduction (cosine transforms rows at ingest, so the
+// mirror quantizes transformed coordinates — identity must survive that
+// too).
+func TestQuantizeOnOffIdentity(t *testing.T) {
+	for _, metric := range []Metric{Euclidean, Cosine} {
+		data, queries := clusteredData(2000, 24, 9)
+		base := Options{K: 8, L: 4, T: 60, Seed: 9, Metric: metric}
+
+		on := base
+		on.Quantize = "on"
+		off := base
+		off.Quantize = "off"
+		idxOn, err := New(data, on)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxOff, err := New(data, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := idxOn.Params().Quantize; got != "on" {
+			t.Fatalf("metric %v: Params().Quantize = %q", metric, got)
+		}
+		if got := idxOff.Params().Quantize; got != "off" {
+			t.Fatalf("metric %v: Params().Quantize = %q", metric, got)
+		}
+
+		compare := func(stage string) {
+			t.Helper()
+			for qi, q := range queries {
+				a := idxOn.Search(q, 10)
+				b := idxOff.Search(q, 10)
+				if len(a) != len(b) {
+					t.Fatalf("metric %v %s query %d: %d vs %d hits", metric, stage, qi, len(a), len(b))
+				}
+				for i := range a {
+					if a[i].ID != b[i].ID || a[i].Dist != b[i].Dist {
+						t.Fatalf("metric %v %s query %d hit %d: %+v vs %+v",
+							metric, stage, qi, i, a[i], b[i])
+					}
+				}
+			}
+		}
+		compare("built")
+
+		// The live toggle must land on the same results from either side.
+		if err := idxOn.SetQuantize("off"); err != nil {
+			t.Fatal(err)
+		}
+		if err := idxOff.SetQuantize("on"); err != nil {
+			t.Fatal(err)
+		}
+		compare("toggled")
+		if err := idxOn.SetQuantize("on"); err != nil {
+			t.Fatal(err)
+		}
+		if err := idxOff.SetQuantize("off"); err != nil {
+			t.Fatal(err)
+		}
+		compare("restored")
+	}
+}
+
+// TestQuantizeValidation pins the accepted settings.
+func TestQuantizeValidation(t *testing.T) {
+	data, _ := clusteredData(50, 8, 3)
+	if _, err := New(data, Options{Quantize: "maybe"}); err == nil {
+		t.Fatal("invalid Quantize setting must error at build")
+	}
+	idx, err := New(data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.SetQuantize("sometimes"); err == nil {
+		t.Fatal("invalid Quantize setting must error at SetQuantize")
+	}
+	if err := idx.SetQuantize(""); err != nil {
+		t.Fatalf("empty setting (default on) rejected: %v", err)
+	}
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the query-path benchmark suite plus a short end-to-end
-# loadgen run, and emit BENCH_PR6.json:
+# loadgen run, and emit BENCH_PR7.json:
 #
 #   {
 #     "benchmarks": { name -> {ns_per_op, allocs_per_op} },
@@ -8,21 +8,22 @@
 #   }
 #
 #   COUNT=5 scripts/bench.sh              # -count per benchmark (default 3)
-#   OUT=out.json scripts/bench.sh         # output path (default BENCH_PR6.json)
+#   OUT=out.json scripts/bench.sh         # output path (default BENCH_PR7.json)
 #   LOADGEN_DURATION=5s scripts/bench.sh  # loadgen run length (default 2s)
 #
 # The benchmark half covers the Table 4 headline query benchmark, the
-# distance-kernel microbenchmarks, the sharded search benchmarks, the
-# traversal-only allocation benchmark, and the cursor-vs-rescan ladder
-# head-to-head. The loadgen half builds dblsh-server and dblsh-loadgen,
-# starts a durable server on a temp data dir, and drives it closed-loop —
-# so the recorded numbers include HTTP, admission and WAL overhead, not
-# just the in-process query path.
+# distance-kernel microbenchmarks (including the quantized pre-filter
+# variants), the sharded search benchmarks, the traversal-only allocation
+# benchmark, and the cursor-vs-rescan ladder head-to-head. The loadgen
+# half builds dblsh-server and dblsh-loadgen, starts a durable server on
+# a temp data dir, and drives it closed-loop — so the recorded numbers
+# include HTTP, admission and WAL overhead, not just the in-process query
+# path, and the summary carries the observed quant_pruned fraction.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-3}"
-OUT="${OUT:-BENCH_PR6.json}"
+OUT="${OUT:-BENCH_PR7.json}"
 LOADGEN_DURATION="${LOADGEN_DURATION:-2s}"
 TMP="$(mktemp)"
 BENCH_JSON="$(mktemp)"
@@ -39,7 +40,7 @@ trap cleanup EXIT
 run() { go test -run '^$' -bench "$1" -benchmem -count "$COUNT" "$2" | tee -a "$TMP"; }
 
 run 'BenchmarkTable4QueryDBLSH$|BenchmarkSearchSharded|BenchmarkLadderAllocs$' .
-run 'BenchmarkDistKernels' ./internal/vec
+run 'BenchmarkDistKernels|BenchmarkQuantKernels' ./internal/vec
 run 'BenchmarkLadderModes' ./internal/core
 
 awk '

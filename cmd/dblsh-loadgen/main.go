@@ -70,6 +70,12 @@ type summary struct {
 	QuantPruned         int     `json:"quant_pruned"`
 	QuantSwept          int     `json:"quant_swept"`
 	QuantPrunedFraction float64 `json:"quant_pruned_fraction"`
+	// Intra-query fan-out activity summed from the search responses' stats:
+	// ladder rounds that visited shards concurrently, and the total wall
+	// time of those rounds' slowest shard gathers. Zero against a
+	// single-shard or sequentially-configured server.
+	ParallelRounds int   `json:"parallel_rounds"`
+	StragglerNs    int64 `json:"straggler_ns"`
 }
 
 func main() {
@@ -140,6 +146,8 @@ type workerResult struct {
 	successes, shed, errors int
 	reads, writes           int
 	quantPruned, quantSwept int
+	parallelRounds          int
+	stragglerNs             int64
 	latencies               []time.Duration
 }
 
@@ -218,13 +226,17 @@ func run(cfg config) (summary, error) {
 					// run summary; a decode failure only loses the tally.
 					var sr struct {
 						Stats struct {
-							QuantPruned int `json:"quant_pruned"`
-							QuantSwept  int `json:"quant_swept"`
+							QuantPruned    int   `json:"quant_pruned"`
+							QuantSwept     int   `json:"quant_swept"`
+							ParallelRounds int   `json:"parallel_rounds"`
+							StragglerNs    int64 `json:"straggler_ns"`
 						} `json:"stats"`
 					}
 					if err := json.NewDecoder(resp.Body).Decode(&sr); err == nil {
 						res.quantPruned += sr.Stats.QuantPruned
 						res.quantSwept += sr.Stats.QuantSwept
+						res.parallelRounds += sr.Stats.ParallelRounds
+						res.stragglerNs += sr.Stats.StragglerNs
 					}
 				}
 				io.Copy(io.Discard, resp.Body)
@@ -259,6 +271,8 @@ func run(cfg config) (summary, error) {
 		sum.Writes += r.writes
 		sum.QuantPruned += r.quantPruned
 		sum.QuantSwept += r.quantSwept
+		sum.ParallelRounds += r.parallelRounds
+		sum.StragglerNs += r.stragglerNs
 		all = append(all, r.latencies...)
 	}
 	sum.Requests = sum.Successes + sum.Shed + sum.Errors

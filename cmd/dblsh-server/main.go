@@ -34,8 +34,9 @@
 //
 // Search endpoints accept optional per-request knobs — "t" (candidate
 // budget), "early_stop" (termination factor ≥ 1), "max_radius" (radius
-// ladder cap) and "filter_ids" (allowlist of returnable ids) — and echo the
-// query's work statistics ("candidates", "rounds", "final_radius") in the
+// ladder cap), "filter_ids" (allowlist of returnable ids) and "parallelism"
+// (shards visited concurrently per ladder round) — and echo the query's
+// work statistics ("candidates", "rounds", "final_radius") in the
 // response, so one running server can serve low-latency and high-recall
 // traffic side by side. /search_radius runs a single fixed-radius round, so
 // it takes only "t" and "filter_ids" and rejects the ladder-shaping knobs.
@@ -46,7 +47,10 @@
 // per-shard breakdown plus, under -data-dir, the durability state (log
 // bytes, ops since checkpoint, last checkpoint time). -compact-fraction
 // enables automatic background compaction once a shard's tombstoned
-// fraction crosses the threshold.
+// fraction crosses the threshold. -parallelism sets how many shards a
+// single query visits concurrently within each ladder round (0 = auto,
+// min(GOMAXPROCS, shards); 1 = sequential; results are identical either
+// way), overridable per request.
 //
 // With -pprof ADDR the server exposes Go's net/http/pprof profiling
 // endpoints (/debug/pprof/...) on a separate listener, so CPU and heap
@@ -115,6 +119,7 @@ func main() {
 		compactFrac = flag.Float64("compact-fraction", 0, "auto-compact a shard when its tombstoned fraction reaches this (0 disables)")
 		metricName  = flag.String("metric", "euclidean", "distance metric for the demo corpus: euclidean, cosine or ip (an -index file carries its own metric)")
 		quantize    = flag.String("quantize", "on", `int8 quantized verification pre-filter: "on" or "off" (results are identical either way; the flag is operational and applies to loaded indexes too)`)
+		parallelism = flag.Int("parallelism", 0, "shards a single query visits concurrently per ladder round: 0 picks min(GOMAXPROCS, shards) per query, 1 forces the sequential path (results are identical either way; operational, applies to loaded indexes too)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty disables)")
 
 		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently executing search/mutation requests (0 = unlimited)")
@@ -141,7 +146,7 @@ func main() {
 		sync: syncPolicy, syncEvery: syncEvery, checkpointEvery: *ckptEvery,
 		demoN: *demoN, demoDim: *demoDim, seed: *seed,
 		shards: *shards, compactFrac: *compactFrac, metric: met,
-		quantize: *quantize,
+		quantize: *quantize, parallelism: *parallelism,
 	})
 	if err != nil {
 		log.Fatalf("dblsh-server: %v", err)
@@ -232,6 +237,7 @@ type config struct {
 	compactFrac                float64
 	metric                     dblsh.Metric
 	quantize                   string
+	parallelism                int
 }
 
 func loadIndex(c config) (*dblsh.Index, error) {
@@ -240,7 +246,7 @@ func loadIndex(c config) (*dblsh.Index, error) {
 	}
 	opts := dblsh.Options{
 		Sync: c.sync, SyncEvery: c.syncEvery, CheckpointEvery: c.checkpointEvery,
-		CompactFraction: c.compactFrac, Quantize: c.quantize,
+		CompactFraction: c.compactFrac, Quantize: c.quantize, Parallelism: c.parallelism,
 	}
 	// A directory that already holds a checkpoint resumes from it; a fresh
 	// one is seeded (from -index or the demo corpus) and then reopened
@@ -278,13 +284,16 @@ func loadEphemeral(c config) (*dblsh.Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("load %s: %w", c.indexFile, err)
 		}
-		// The shard layout travels with the file; the compaction policy and
-		// the pre-filter flag are operational and apply to loaded indexes
-		// too.
+		// The shard layout travels with the file; the compaction policy, the
+		// pre-filter flag and the query fan-out setting are operational and
+		// apply to loaded indexes too.
 		if err := idx.SetCompactFraction(c.compactFrac); err != nil {
 			return nil, err
 		}
 		if err := idx.SetQuantize(c.quantize); err != nil {
+			return nil, err
+		}
+		if err := idx.SetParallelism(c.parallelism); err != nil {
 			return nil, err
 		}
 		log.Printf("loaded %s in %v", c.indexFile, time.Since(start).Round(time.Millisecond))
@@ -311,6 +320,6 @@ func loadEphemeral(c config) (*dblsh.Index, error) {
 	}
 	return dblsh.NewFromFlat(flat, c.demoN, c.demoDim, dblsh.Options{
 		Seed: c.seed, Shards: c.shards, CompactFraction: c.compactFrac, Metric: c.metric,
-		Quantize: c.quantize,
+		Quantize: c.quantize, Parallelism: c.parallelism,
 	})
 }

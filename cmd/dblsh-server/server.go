@@ -63,10 +63,12 @@ func newServer(idx *dblsh.Index, cfg serverConfig) *server {
 //	POST /compact         {"shard": 2} — rebuild one shard (omit for all), dropping tombstones
 //	POST /checkpoint      — rewrite the durable snapshot and truncate the op log (requires -data-dir)
 //
-// The per-request knobs t, early_stop, max_radius and filter_ids are all
-// optional and default to the index's build-time configuration; filter_ids,
-// when present, is an allowlist — only those ids may be returned. Search
-// responses echo the work statistics of the query.
+// The per-request knobs t, early_stop, max_radius, filter_ids and
+// parallelism are all optional and default to the index's (or server's)
+// configuration; filter_ids, when present, is an allowlist — only those ids
+// may be returned, and parallelism bounds how many shards the query visits
+// concurrently per ladder round (0 forces auto; results are identical at
+// every setting). Search responses echo the work statistics of the query.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	// Probe and scrape endpoints skip admission so they keep answering
@@ -145,6 +147,7 @@ type statsResponse struct {
 	C              float64          `json:"c"`
 	W0             float64          `json:"w0"`
 	Quantize       string           `json:"quantize"`
+	Parallelism    int              `json:"parallelism"` // effective per-query shard fan-out
 	IndexSizeBytes int64            `json:"index_size_bytes"`
 	ShardCount     int              `json:"shard_count"`
 	Shards         []shardStatsJSON `json:"shards"`
@@ -173,17 +176,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	p := s.idx.Params()
 	resp := statsResponse{
-		Dim:        s.idx.Dim(),
-		Metric:     s.idx.Metric().String(),
-		NormBound:  p.NormBound,
-		K:          p.K,
-		L:          p.L,
-		T:          p.T,
-		C:          p.C,
-		W0:         p.W0,
-		Quantize:   p.Quantize,
-		ShardCount: s.idx.Shards(),
-		Durability: durabilityStats(s.idx),
+		Dim:         s.idx.Dim(),
+		Metric:      s.idx.Metric().String(),
+		NormBound:   p.NormBound,
+		K:           p.K,
+		L:           p.L,
+		T:           p.T,
+		C:           p.C,
+		W0:          p.W0,
+		Quantize:    p.Quantize,
+		Parallelism: s.idx.Parallelism(),
+		ShardCount:  s.idx.Shards(),
+		Durability:  durabilityStats(s.idx),
 	}
 	// Derive the totals from the same per-shard snapshot the response
 	// shows, so vectors/deleted always agree with the shard breakdown even
@@ -215,6 +219,10 @@ type queryOptions struct {
 	EarlyStop float64 `json:"early_stop"`
 	MaxRadius float64 `json:"max_radius"`
 	FilterIDs []int   `json:"filter_ids"`
+	// Parallelism is a pointer so an explicit 0 ("auto, regardless of the
+	// server's -parallelism") is distinguishable from the field being
+	// absent (use the server's setting).
+	Parallelism *int `json:"parallelism"`
 }
 
 // searchOptions converts the request knobs into library options. The
@@ -245,6 +253,9 @@ func (o queryOptions) searchOptions(ctx context.Context) ([]dblsh.SearchOption, 
 		}
 		opts = append(opts, dblsh.WithFilter(func(id int) bool { return allow[id] }))
 	}
+	if o.Parallelism != nil {
+		opts = append(opts, dblsh.WithParallelism(*o.Parallelism))
+	}
 	return opts, nil
 }
 
@@ -268,6 +279,11 @@ type queryStats struct {
 	FrontierSize int     `json:"frontier_size"`
 	QuantPruned  int     `json:"quant_pruned"`
 	QuantSwept   int     `json:"quant_swept"`
+	// Fan-out activity: rounds that ran shards concurrently and the summed
+	// wall time of each such round's slowest shard. Absent when the query
+	// ran the sequential path.
+	ParallelRounds int   `json:"parallel_rounds,omitempty"`
+	StragglerNs    int64 `json:"straggler_ns,omitempty"`
 }
 
 type searchResponse struct {
@@ -285,13 +301,15 @@ func toHits(results []dblsh.Result) []searchHit {
 
 func toStats(st dblsh.Stats) *queryStats {
 	return &queryStats{
-		Candidates:   st.Candidates,
-		Rounds:       st.Rounds,
-		FinalRadius:  st.FinalRadius,
-		NodesVisited: st.NodesVisited,
-		FrontierSize: st.FrontierSize,
-		QuantPruned:  st.QuantPruned,
-		QuantSwept:   st.QuantSwept,
+		Candidates:     st.Candidates,
+		Rounds:         st.Rounds,
+		FinalRadius:    st.FinalRadius,
+		NodesVisited:   st.NodesVisited,
+		FrontierSize:   st.FrontierSize,
+		QuantPruned:    st.QuantPruned,
+		QuantSwept:     st.QuantSwept,
+		ParallelRounds: st.ParallelRounds,
+		StragglerNs:    st.StragglerNanos,
 	}
 }
 
@@ -435,10 +453,11 @@ func (s *server) handleSearchRadius(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "radius must be positive")
 		return
 	}
-	// A fixed-radius query runs a single round: the ladder-shaping knobs
-	// have nothing to act on, so reject them rather than silently ignore.
-	if req.EarlyStop != 0 || req.MaxRadius != 0 {
-		httpError(w, http.StatusBadRequest, "early_stop and max_radius do not apply to fixed-radius queries")
+	// A fixed-radius query runs a single sequential round: the
+	// ladder-shaping knobs and the per-round fan-out have nothing to act
+	// on, so reject them rather than silently ignore.
+	if req.EarlyStop != 0 || req.MaxRadius != 0 || req.Parallelism != nil {
+		httpError(w, http.StatusBadRequest, "early_stop, max_radius and parallelism do not apply to fixed-radius queries")
 		return
 	}
 	opts, err := req.searchOptions(r.Context())

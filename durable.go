@@ -341,6 +341,13 @@ func loadOrInitCheckpoint(dir string, opts Options) (idx *Index, lastCkpt time.T
 	if opts.Quantize != "" {
 		idx.set.SetQuantize(opts.Quantize)
 	}
+	// And the query fan-out setting (0 is already the auto default a loaded
+	// set starts with).
+	if opts.Parallelism != 0 {
+		if err := idx.SetParallelism(opts.Parallelism); err != nil {
+			return nil, time.Time{}, false, err
+		}
+	}
 	if fi, err := os.Stat(path); err == nil {
 		lastCkpt = fi.ModTime()
 	}

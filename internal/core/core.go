@@ -388,6 +388,16 @@ type Stats struct {
 	// QuantSwept stops growing — while the observed prune rate is too low
 	// to pay for the sweep.
 	QuantSwept int
+	// ParallelRounds counts the coordinated ladder rounds that fanned out
+	// across shards concurrently, including the final covering sweep (which
+	// Rounds does not count, so this can reach Rounds+1). Zero on a
+	// single-shard index and whenever the query ran the sequential path.
+	ParallelRounds int
+	// StragglerNanos sums, over the parallel rounds, the wall time of each
+	// round's slowest shard gather — the critical path of the fan-out.
+	// Comparing it against total query latency shows how much of the query
+	// was spent waiting on the per-round barrier.
+	StragglerNanos int64
 }
 
 // QueryParams carries per-query overrides of the knobs Config freezes at
@@ -419,6 +429,12 @@ type QueryParams struct {
 	// distance computation — the same path tombstoned points take — so they
 	// consume none of the candidate budget.
 	Filter func(id int) bool
+	// Parallelism overrides the shard coordinator's per-round fan-out width
+	// for this query: 0 inherits the set-level setting, -1 forces the auto
+	// policy (min(GOMAXPROCS, shards)), n ≥ 1 uses exactly n workers, with
+	// 1 selecting the sequential reference path. A single-index query
+	// ignores it — rounds on one core.Index have nothing to fan out over.
+	Parallelism int
 }
 
 // Resolve merges the per-query overrides with the build-time configuration,
@@ -612,9 +628,7 @@ func (s *Searcher) flushBlock(q []float32, worst func() float64, emit emitFunc) 
 	if worst != nil {
 		bound = worst()
 	}
-	if math.IsInf(bound, 1) {
-		vec.SquaredDistsTo(q, s.idx.data, s.bids, dists)
-	} else if s.idx.quant != nil && s.quantGate() {
+	if s.idx.quant != nil && !math.IsInf(bound, 1) && s.quantGate() {
 		// Two-stage verification: sweep the block's int8 codes first and
 		// only re-rank rows whose quantized lower bound does not already
 		// beat the k-th best. A pruned row reports +Inf — the exact value

@@ -16,8 +16,20 @@
 // independent ladders would each pay the full budget against a sparser
 // stripe — while holding each shard's lock only for its slice of a round,
 // so a search never waits for more than one in-flight mutation per shard
-// round. Per-query work is deliberately sequential; parallelism comes from
-// concurrent queries, batch workers and server requests.
+// round.
+//
+// Within a round the per-shard traversals are independent, so a query can
+// fan them out across a bounded set-level worker pool (SetParallelism /
+// QueryParams.Parallelism): each shard gathers its verified (id, dist)
+// candidates into a per-shard arena, pruning against the top-k bound frozen
+// at round entry, and the coordinator then merges the arenas in fixed shard
+// order, applying the dedup, budget and termination accounting candidate by
+// candidate exactly as the sequential loop does. The frozen bound is only
+// ever looser than the live one, so it admits extra candidates but never
+// drops one, and every mid-round stop (budget exhausted, termination test)
+// ends the whole query, so over-gathering past a stop can never influence a
+// later round: the merged results are bit-identical to the sequential
+// path's, which survives (parallelism 1) as the differential oracle.
 //
 // # Compaction
 //
@@ -42,8 +54,9 @@
 //
 // There is no global lock anywhere. The only cross-shard synchronization
 // is the atomic global-id allocator; even persistence (SnapshotShard)
-// copies one shard at a time. No code path ever holds two shard locks, so
-// the lock graph is trivially acyclic.
+// copies one shard at a time. No goroutine ever holds two shard locks (a
+// parallel round holds several read locks concurrently, but each on its own
+// worker goroutine), so the lock graph is trivially acyclic.
 package shard
 
 import (
@@ -71,6 +84,20 @@ type Set struct {
 	shards      []*state
 	nextID      atomic.Int64 // global id allocator / id-space bound
 	pool        sync.Pool    // of *Searcher, for the pooled entry points
+
+	// par is the set-level per-query fan-out setting: 0 auto
+	// (min(GOMAXPROCS, shards)), 1 sequential, n ≥ 1 explicit.
+	par atomic.Int64
+	// workers is the set-level helper-token pool for parallel rounds, sized
+	// to GOMAXPROCS at build time. Every query's coordinator gathers inline
+	// without a token, so rounds always make progress; helper goroutines
+	// across all concurrent queries (and batch workers) are bounded by the
+	// pool's capacity, which keeps intra-query and inter-query parallelism
+	// from multiplying into oversubscription.
+	workers chan struct{}
+	// quantize, when non-nil, overrides cfg.Quantize: SetQuantize stores
+	// here atomically so compaction's config read races with nothing.
+	quantize atomic.Pointer[string]
 
 	// metrics is the optional compaction observability hook set, swapped
 	// in atomically so SetMetrics is safe while background auto-compaction
@@ -218,6 +245,7 @@ func Build(flat []float32, n, dim, shards int, compactFrac float64, cfg core.Con
 		}
 		wg.Wait()
 	}
+	s.workers = make(chan struct{}, runtime.GOMAXPROCS(0))
 	s.pool.New = func() interface{} { return s.NewSearcher() }
 	return s
 }
@@ -285,6 +313,7 @@ func Restore(dim int, nextID int, compactFrac float64, cfg core.Config, parts []
 		}(st, p)
 	}
 	wg.Wait()
+	s.workers = make(chan struct{}, runtime.GOMAXPROCS(0))
 	s.pool.New = func() interface{} { return s.NewSearcher() }
 	return s
 }
@@ -295,20 +324,71 @@ func (s *Set) Shards() int { return len(s.shards) }
 // Dim returns the vector dimensionality.
 func (s *Set) Dim() int { return s.dim }
 
-// Params returns the resolved build configuration (base seed).
-func (s *Set) Params() core.Config { return s.cfg }
+// Params returns the resolved build configuration (base seed), reflecting
+// any operational override applied since the build (SetQuantize).
+func (s *Set) Params() core.Config {
+	c := s.cfg
+	c.Quantize = s.quantizeSetting()
+	return c
+}
 
 // SetQuantize applies a quantized pre-filter setting to every shard and to
 // the configuration future compactions rebuild from. The restore paths use
-// it: the setting is operational, not persisted. Call before the set
-// serves concurrent traffic — it mutates shared configuration unlocked.
+// it: the setting is operational, not persisted. Safe to call at any time,
+// including under concurrent searches, mutations and compactions: the
+// shared setting lives behind an atomic (compaction re-reads it at swap
+// time, so a rebuild racing the change still installs the latest setting)
+// and each shard's mirror flips under that shard's write lock.
 func (s *Set) SetQuantize(q string) {
-	s.cfg.Quantize = q
+	s.quantize.Store(&q)
 	for _, st := range s.shards {
 		st.mu.Lock()
 		st.idx.SetQuantize(q)
 		st.mu.Unlock()
 	}
+}
+
+// quantizeSetting returns the effective pre-filter setting: the last
+// SetQuantize override, or the build-time configuration.
+func (s *Set) quantizeSetting() string {
+	if p := s.quantize.Load(); p != nil {
+		return *p
+	}
+	return s.cfg.Quantize
+}
+
+// SetParallelism replaces the set-level per-query fan-out setting: 0 lets
+// each query pick min(GOMAXPROCS, shards) (the auto policy), 1 forces the
+// sequential reference path, n > 1 uses up to n workers per round. Safe to
+// call at any time; in-flight queries keep the width they resolved at
+// entry. Like the compaction threshold it is operational, not persisted.
+func (s *Set) SetParallelism(n int) { s.par.Store(int64(n)) }
+
+// Parallelism returns the set-level fan-out setting (0 = auto).
+func (s *Set) Parallelism() int { return int(s.par.Load()) }
+
+// EffectiveParallelism reports the fan-out width a query with no per-query
+// override would use right now.
+func (s *Set) EffectiveParallelism() int { return s.resolveParallelism(0) }
+
+// resolveParallelism turns a per-query override (0 inherit, -1 auto, n ≥ 1
+// explicit) into the effective fan-out width: at least 1, at most the shard
+// count, defaulting to GOMAXPROCS under the auto policy.
+func (s *Set) resolveParallelism(req int) int {
+	v := req
+	if v == 0 {
+		v = int(s.par.Load())
+	}
+	if v <= 0 {
+		v = runtime.GOMAXPROCS(0)
+	}
+	if v > len(s.shards) {
+		v = len(s.shards)
+	}
+	if v < 1 {
+		v = 1
+	}
+	return v
 }
 
 // NextID returns the global-id-space bound: every id ever returned by Add
@@ -520,12 +600,20 @@ func (s *Set) compactState(st *state) int {
 	c := s.cfg
 	c.Seed = st.seed
 	c.InitialRadius = 0 // re-estimate from the compacted content
+	c.Quantize = s.quantizeSetting()
 	fresh := core.Build(live, c)
 
 	// Swap under the write lock, replaying whatever raced the build: rows
 	// appended after the snapshot, and tombstones laid on snapshot rows.
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if q := s.quantizeSetting(); q != c.Quantize {
+		// A SetQuantize raced the rebuild: it already flipped (or is about
+		// to flip, once we release the write lock) the index we are
+		// discarding, so apply the latest setting to the replacement before
+		// it becomes visible.
+		fresh.SetQuantize(q)
+	}
 	for j, ol := range oldLocals {
 		if old.IsDeleted(ol) {
 			fresh.Delete(j)
@@ -675,12 +763,32 @@ type Searcher struct {
 	seen []*core.Index // which core index each searcher is bound to
 	last core.Stats
 
-	// Per-query coordinator state, reused across queries.
-	began      []bool       // shard i's searcher saw Begin for this query
-	seenG      map[int]bool // global-id dedup across a mid-query index swap
-	carryNodes int          // traversal nodes from searchers discarded mid-query
-	carryQPr   int          // quant-pruned count from searchers discarded mid-query
-	carryQSw   int          // quant-swept count from searchers discarded mid-query
+	// Per-query coordinator state, reused across queries. The per-shard
+	// slices are indexed by shard and, during a parallel round, written
+	// only by the single worker that drew that shard, so the round's
+	// WaitGroup barrier is the only synchronization they need.
+	began  []bool        // shard i's searcher saw Begin for this query
+	seenG  map[int]bool  // global-id dedup across a mid-query index swap
+	carry  []carryStats  // per shard: counters of searchers discarded mid-query
+	arenas []gatherArena // per shard: parallel-round gather buffers
+}
+
+// carryStats holds the traversal counters of a core searcher that a
+// mid-query compaction swap discarded, folded into the query's stats. Kept
+// per shard so parallel gathers never write a shared counter.
+type carryStats struct {
+	nodes       int
+	quantPruned int
+	quantSwept  int
+}
+
+// gatherArena is one shard's per-round candidate buffer for the parallel
+// fan-out, reused across rounds and queries.
+type gatherArena struct {
+	ids     []int     // global ids, shard emission order
+	dists   []float64 // exact distances (or +Inf for pruned rows), parallel to ids
+	covered bool      // the shard's next-radius window covers its whole stripe
+	nanos   int64     // wall time of this shard's gather, lock wait included
 }
 
 // NewSearcher returns a searcher bound to the set. Per-shard core searchers
@@ -696,6 +804,7 @@ func (s *Set) NewSearcher() *Searcher {
 		per:   make([]*core.Searcher, len(s.shards)),
 		seen:  make([]*core.Index, len(s.shards)),
 		began: make([]bool, len(s.shards)),
+		carry: make([]carryStats, len(s.shards)),
 	}
 }
 
@@ -709,9 +818,9 @@ func (sr *Searcher) searcherFor(i int) *core.Searcher {
 			// traversal and pre-filter counters so the query's stats stay
 			// complete.
 			old := sr.per[i].LastStats()
-			sr.carryNodes += old.NodesVisited
-			sr.carryQPr += old.QuantPruned
-			sr.carryQSw += old.QuantSwept
+			sr.carry[i].nodes += old.NodesVisited
+			sr.carry[i].quantPruned += old.QuantPruned
+			sr.carry[i].quantSwept += old.QuantSwept
 		}
 		sr.per[i] = st.idx.NewSearcher()
 		sr.seen[i] = st.idx
@@ -760,9 +869,9 @@ func (sr *Searcher) searchCoordinated(q []float32, k int, p core.QueryParams) ([
 	c := s.cfg.C
 
 	sr.last = core.Stats{}
-	sr.carryNodes, sr.carryQPr, sr.carryQSw = 0, 0, 0
 	for i := range sr.began {
 		sr.began[i] = false
+		sr.carry[i] = carryStats{}
 	}
 	if sr.seenG == nil {
 		sr.seenG = make(map[int]bool)
@@ -792,6 +901,15 @@ func (sr *Searcher) searchCoordinated(q []float32, k int, p core.QueryParams) ([
 
 	cand := vec.NewTopK(k)
 	cnt := 0
+	par := s.resolveParallelism(p.Parallelism)
+	round := func(r float64, sweep bool) (done, covered bool) {
+		if par > 1 {
+			cnt, done, covered = sr.runRoundParallel(q, r, p, cand, budget, cnt, stopC, sweep, par)
+		} else {
+			cnt, done, covered = sr.runRound(q, r, p, cand, budget, cnt, stopC, sweep)
+		}
+		return done, covered
+	}
 	for {
 		if p.MaxRadius > 0 && r > p.MaxRadius {
 			break
@@ -802,8 +920,7 @@ func (sr *Searcher) searchCoordinated(q []float32, k int, p core.QueryParams) ([
 			return cand.Results(), p.Ctx.Err()
 		}
 		sr.last.Rounds++
-		var done bool
-		cnt, done = sr.runRound(q, r, p, cand, budget, cnt, stopC, false)
+		done, covered := round(r, false)
 		sr.last.FinalR = r
 		if done {
 			break
@@ -818,10 +935,11 @@ func (sr *Searcher) searchCoordinated(q []float32, k int, p core.QueryParams) ([
 		if p.MaxRadius > 0 && r > p.MaxRadius {
 			break
 		}
-		if sr.coversAll(r) {
-			// The next window contains every projected point everywhere;
-			// run one final full round and stop.
-			cnt, _ = sr.runRound(q, r, p, cand, budget, cnt, stopC, true)
+		if covered {
+			// The round just run reported (under the same lock holds) that
+			// the next window contains every projected point everywhere;
+			// run one final full sweep and stop.
+			round(r, true)
 			break
 		}
 	}
@@ -836,10 +954,10 @@ func (sr *Searcher) searchCoordinated(q []float32, k int, p core.QueryParams) ([
 // mid-query compaction swap discarded), and the residual frontier size of
 // every cursor the query armed.
 func (sr *Searcher) finishTraversalStats() {
-	sr.last.NodesVisited += sr.carryNodes
-	sr.last.QuantPruned += sr.carryQPr
-	sr.last.QuantSwept += sr.carryQSw
 	for i := range sr.set.shards {
+		sr.last.NodesVisited += sr.carry[i].nodes
+		sr.last.QuantPruned += sr.carry[i].quantPruned
+		sr.last.QuantSwept += sr.carry[i].quantSwept
 		if sr.began[i] && sr.per[i] != nil {
 			st := sr.per[i].LastStats()
 			sr.last.NodesVisited += st.NodesVisited
@@ -859,13 +977,17 @@ func (sr *Searcher) finishTraversalStats() {
 // each block, so the round stops mid-block the moment either fires and no
 // shard's share of the budget is wasted when the live data is skewed.
 // Visit order is fixed, so results are deterministic; a shard's lock is
-// held only for its slice of the round. (Per-query work is sequential by
-// design — concurrent queries, batches and server requests provide the
-// parallelism.) It returns the updated candidate count and whether the
-// query is finished.
-func (sr *Searcher) runRound(q []float32, r float64, p core.QueryParams, cand *vec.TopK, budget, cnt int, stopC float64, sweep bool) (int, bool) {
+// held only for its slice of the round. This sequential path is the
+// reference the parallel fan-out (runRoundParallel) must match
+// bit-for-bit. It returns the updated candidate count, whether the query
+// is finished, and whether every shard's window at the next radius r·C
+// covers its whole projected stripe (checked under the same lock hold, so
+// a round never takes a shard's lock twice; meaningful only when the query
+// is not finished and the round was not a sweep).
+func (sr *Searcher) runRound(q []float32, r float64, p core.QueryParams, cand *vec.TopK, budget, cnt int, stopC float64, sweep bool) (int, bool, bool) {
 	s := sr.set
 	done := false
+	covered := !sweep
 	worst := func() float64 {
 		if w, full := cand.Worst(); full {
 			return w
@@ -874,6 +996,7 @@ func (sr *Searcher) runRound(q []float32, r float64, p core.QueryParams, cand *v
 	}
 	for i, st := range s.shards {
 		if done {
+			covered = false
 			break
 		}
 		st.mu.RLock()
@@ -909,25 +1032,154 @@ func (sr *Searcher) runRound(q []float32, r float64, p core.QueryParams, cand *v
 			cs.Sweep(q, lp.Filter, worst, emit)
 		} else {
 			cs.RunRound(q, r, lp.Filter, worst, emit)
+			covered = covered && !done && cs.Covers(r*s.cfg.C)
 		}
 		st.mu.RUnlock()
 	}
-	return cnt, done
+	return cnt, done, covered
 }
 
-// coversAll reports whether a round at radius r would cover every projected
-// point of every shard.
-func (sr *Searcher) coversAll(r float64) bool {
-	for i, st := range sr.set.shards {
-		st.mu.RLock()
-		cs := sr.searcherFor(i)
-		covered := sr.began[i] && cs.Covers(r)
-		st.mu.RUnlock()
-		if !covered {
-			return false
+// runRoundParallel executes one ladder round (or the final sweep) with the
+// per-shard visits fanned out across the set's bounded worker pool, then
+// merges the gathered candidates in fixed shard order. The merge applies
+// the cross-swap dedup, the global budget and (for ladder rounds) the
+// early-termination test candidate by candidate, exactly as runRound does,
+// so it replays the sequential consume sequence and every downstream ladder
+// decision — and therefore the result set — is bit-identical to the
+// sequential path's. Each gather prunes against the top-k bound frozen at
+// round entry (sound: a stale bound is only ever looser, see the package
+// comment) and self-caps at the round's remaining budget in fresh
+// candidates — the most the merge could possibly consume from one shard —
+// which also keeps a parallel sweep from verifying whole stripes the
+// budget could never pay for. Return values are runRound's.
+func (sr *Searcher) runRoundParallel(q []float32, r float64, p core.QueryParams, cand *vec.TopK, budget, cnt int, stopC float64, sweep bool, par int) (int, bool, bool) {
+	s := sr.set
+	bound := math.Inf(1)
+	if w, full := cand.Worst(); full {
+		bound = w
+	}
+	remaining := budget - cnt
+	if sr.arenas == nil {
+		sr.arenas = make([]gatherArena, len(s.shards))
+	}
+	// Workers draw shard indices from a shared counter; which worker
+	// gathers which shard is irrelevant, because only the merge order
+	// below determines the outcome. seenG is read by the gathers and
+	// written only by the merge, which the WaitGroup barrier orders after
+	// every gather.
+	var next atomic.Int64
+	gather := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(s.shards) {
+				return
+			}
+			sr.gatherShard(i, q, r, p, bound, remaining, sweep)
 		}
 	}
-	return true
+	// The coordinator gathers inline without a token, so the round makes
+	// progress even when the set-level pool is drained by other queries.
+	var wg sync.WaitGroup
+	for h := 1; h < par; h++ {
+		acquired := false
+		select {
+		case s.workers <- struct{}{}:
+			acquired = true
+		default:
+		}
+		if !acquired {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-s.workers }()
+			gather()
+		}()
+	}
+	gather()
+	wg.Wait()
+
+	done := false
+	covered := !sweep
+	var straggler int64
+	for i := range s.shards {
+		a := &sr.arenas[i]
+		if a.nanos > straggler {
+			straggler = a.nanos
+		}
+		covered = covered && a.covered
+		if done {
+			continue
+		}
+		for j, g := range a.ids {
+			if sr.seenG[g] {
+				continue
+			}
+			sr.seenG[g] = true
+			cand.Push(g, a.dists[j])
+			cnt++
+			if cnt >= budget {
+				done = true
+				break
+			}
+			if w, full := cand.Worst(); !sweep && full && w <= stopC*r {
+				done = true
+				break
+			}
+		}
+	}
+	sr.last.ParallelRounds++
+	sr.last.StragglerNanos += straggler
+	return cnt, done, covered && !done
+}
+
+// gatherShard runs shard i's slice of one parallel round under the shard's
+// read lock, collecting every emitted candidate into the shard's arena.
+// The gather stops once it holds `limit` fresh (not yet merged) candidates:
+// past that point the merge is guaranteed to exhaust the global budget
+// before reaching them. Candidates handed back by a mid-block stop are
+// un-consumed in the cursor (flushBlock's contract), and candidates left
+// unmerged cannot leak into later rounds because any merge stop ends the
+// whole query.
+func (sr *Searcher) gatherShard(i int, q []float32, r float64, p core.QueryParams, bound float64, limit int, sweep bool) {
+	s := sr.set
+	st := s.shards[i]
+	a := &sr.arenas[i]
+	a.ids = a.ids[:0]
+	a.dists = a.dists[:0]
+	a.covered = false
+	start := time.Now()
+	st.mu.RLock()
+	cs := sr.searcherFor(i)
+	if !sr.began[i] {
+		cs.Begin(q)
+		sr.began[i] = true
+	}
+	lp := withLocalFilter(p, st.globals)
+	fresh := 0
+	emit := func(ids []int, dists []float64) (int, bool) {
+		for j, id := range ids {
+			g := st.globals[id]
+			a.ids = append(a.ids, g)
+			a.dists = append(a.dists, dists[j])
+			if !sr.seenG[g] {
+				if fresh++; fresh >= limit {
+					return j + 1, true
+				}
+			}
+		}
+		return len(ids), false
+	}
+	worst := func() float64 { return bound }
+	if sweep {
+		cs.Sweep(q, lp.Filter, worst, emit)
+	} else {
+		cs.RunRound(q, r, lp.Filter, worst, emit)
+		a.covered = cs.Covers(r * s.cfg.C)
+	}
+	st.mu.RUnlock()
+	a.nanos = time.Since(start).Nanoseconds()
 }
 
 // SearchRadius answers a single (r,c)-NN round (Algorithm 1), probing the

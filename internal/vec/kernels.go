@@ -46,11 +46,16 @@ const abandonStride = 16
 // is the bound) observe exactly the same result set as with the exact
 // kernel. Rows strictly under the bound are computed exactly; a row within
 // rounding of the bound itself may report either its value or +Inf.
+//
+// A surviving row's value does not depend on the bound: every bound —
+// including +Inf, which can never abandon — runs the same per-row
+// accumulation order, so loosening the bound admits more rows but never
+// changes a row's reported distance by even an ulp. The sharded
+// coordinator's parallel fan-out relies on this: it verifies with a bound
+// frozen at round entry while the sequential reference path tightens its
+// bound candidate by candidate, and the two must emit bit-identical
+// distances for every row both keep.
 func SquaredDistsToBounded(q []float32, m *Matrix, ids []int, bound float64, out []float64) {
-	if math.IsInf(bound, 1) {
-		SquaredDistsTo(q, m, ids, out)
-		return
-	}
 	_ = out[:len(ids)]
 	// Candidate rows are scattered, so each one starts with a cache miss;
 	// sweeping four rows per call keeps four independent miss streams in

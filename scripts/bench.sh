@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the query-path benchmark suite plus a short end-to-end
-# loadgen run, and emit BENCH_PR7.json:
+# loadgen run, and emit BENCH_PR8.json:
 #
 #   {
 #     "benchmarks": { name -> {ns_per_op, allocs_per_op} },
@@ -8,22 +8,25 @@
 #   }
 #
 #   COUNT=5 scripts/bench.sh              # -count per benchmark (default 3)
-#   OUT=out.json scripts/bench.sh         # output path (default BENCH_PR7.json)
+#   OUT=out.json scripts/bench.sh         # output path (default BENCH_PR8.json)
 #   LOADGEN_DURATION=5s scripts/bench.sh  # loadgen run length (default 2s)
 #
 # The benchmark half covers the Table 4 headline query benchmark, the
 # distance-kernel microbenchmarks (including the quantized pre-filter
-# variants), the sharded search benchmarks, the traversal-only allocation
-# benchmark, and the cursor-vs-rescan ladder head-to-head. The loadgen
-# half builds dblsh-server and dblsh-loadgen, starts a durable server on
-# a temp data dir, and drives it closed-loop — so the recorded numbers
-# include HTTP, admission and WAL overhead, not just the in-process query
-# path, and the summary carries the observed quant_pruned fraction.
+# variants), the sequential-vs-parallel sharded search matrix
+# (BenchmarkSearchSharded's shards × {seq,par} grid), the traversal-only
+# allocation benchmark, and the cursor-vs-rescan ladder head-to-head. The
+# loadgen half builds dblsh-server and dblsh-loadgen, starts a durable
+# 8-shard server on a temp data dir, and drives it closed-loop — so the
+# recorded numbers include HTTP, admission and WAL overhead, not just the
+# in-process query path, and the summary carries the observed quant_pruned
+# fraction plus the intra-query fan-out counters (parallel_rounds,
+# straggler_ns).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-3}"
-OUT="${OUT:-BENCH_PR7.json}"
+OUT="${OUT:-BENCH_PR8.json}"
 LOADGEN_DURATION="${LOADGEN_DURATION:-2s}"
 TMP="$(mktemp)"
 BENCH_JSON="$(mktemp)"
@@ -73,8 +76,12 @@ go build -o "$BINDIR/dblsh-server" ./cmd/dblsh-server
 go build -o "$BINDIR/dblsh-loadgen" ./cmd/dblsh-loadgen
 
 PORT="${PORT:-18080}"
+# -parallelism 8 forces the per-round fan-out even where the auto policy
+# would pick 1 (single-core CI runners), so the recorded parallel_rounds /
+# straggler_ns counters always reflect the parallel path end to end.
 "$BINDIR/dblsh-server" -addr "localhost:$PORT" -data-dir "$DATADIR" \
-    -demo-n 5000 -demo-dim 32 -max-inflight 16 -max-queue 64 &
+    -demo-n 5000 -demo-dim 32 -shards 8 -parallelism 8 \
+    -max-inflight 16 -max-queue 64 &
 SERVER_PID=$!
 
 # dblsh-loadgen polls /stats itself until the server is ready.

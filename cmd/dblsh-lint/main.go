@@ -1,0 +1,19 @@
+// Command dblsh-lint is the vet driver for dblsh's project-specific
+// analyzer suite (internal/analysis). Build it once, then run it over the
+// tree through the vet front end:
+//
+//	go build -o bin/dblsh-lint ./cmd/dblsh-lint
+//	go vet -vettool=$(pwd)/bin/dblsh-lint ./...
+//
+// scripts/lint.sh wraps exactly that invocation; CI runs the same script.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"dblsh/internal/analysis"
+)
+
+func main() {
+	unitchecker.Main(analysis.All()...)
+}

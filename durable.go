@@ -130,19 +130,19 @@ type durable struct {
 	// consistent with its record boundary: apply+append of mutations,
 	// rotation, the op counter, and the rotated-segment list.
 	mu       sync.Mutex
-	log      *wal.Writer
-	ops      int64    // logged mutations since the last completed checkpoint
-	oldPaths []string // rotated segments not yet retired by a checkpoint
-	oldBytes int64
-	nextSeq  uint64
-	closed   bool
-	firstErr error // first background/logging failure, surfaced by Close
+	log      *wal.Writer // dblsh:guardedby mu
+	ops      int64       // dblsh:guardedby mu — logged mutations since the last completed checkpoint
+	oldPaths []string    // dblsh:guardedby mu — rotated segments not yet retired by a checkpoint
+	oldBytes int64       // dblsh:guardedby mu
+	nextSeq  uint64      // dblsh:guardedby mu
+	closed   bool        // dblsh:guardedby mu
+	firstErr error       // dblsh:guardedby mu — first background/logging failure, surfaced by Close
 
 	// ckptMu serializes checkpoints. It is always taken before mu, never
 	// the other way around.
 	ckptMu      sync.Mutex
-	checkpoints int64
-	lastCkpt    time.Time
+	checkpoints int64     // dblsh:guardedby ckptMu
+	lastCkpt    time.Time // dblsh:guardedby ckptMu
 
 	// Replay statistics, written once during Open (before the index is
 	// published) and read-only afterwards — scrape-time gauge funcs read
@@ -154,8 +154,8 @@ type durable struct {
 	// walM is copied onto every log segment writer (the active one and
 	// each rotation's replacement) so append/fsync metrics survive
 	// rotation. ckptSeconds times complete checkpoints. Guarded by mu.
-	walM        wal.Metrics
-	ckptSeconds *obs.Histogram
+	walM        wal.Metrics    // dblsh:guardedby mu
+	ckptSeconds *obs.Histogram // dblsh:guardedby mu
 
 	stop      chan struct{}
 	bg        sync.WaitGroup
@@ -441,6 +441,8 @@ func (d *durable) setMetrics(wm wal.Metrics, ckptSeconds *obs.Histogram) {
 }
 
 // note records the first logging/background failure. Callers hold d.mu.
+//
+// dblsh:locked mu
 func (d *durable) note(err error) {
 	if err != nil && d.firstErr == nil {
 		d.firstErr = err
@@ -452,6 +454,8 @@ func (d *durable) note(err error) {
 // returns nil — write-ahead order, so an error here means the mutation
 // simply did not happen. (A failed append is rolled back, or latches the
 // log; see wal.Writer.)
+//
+// dblsh:locked mu
 func (d *durable) appendLocked(rec wal.Record) error {
 	if err := d.log.Append(rec); err != nil {
 		d.note(err)

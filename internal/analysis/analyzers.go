@@ -1,0 +1,14 @@
+package analysis
+
+import "golang.org/x/tools/go/analysis"
+
+// All returns the full dblsh analyzer suite in a stable order; this is what
+// cmd/dblsh-lint registers with the vet driver.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		GuardedBy,
+		DetOrder,
+		NilRecv,
+		WalErr,
+	}
+}

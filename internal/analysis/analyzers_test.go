@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dblsh/internal/analysis"
+	"dblsh/internal/analysis/atest"
+)
+
+func TestGuardedBy(t *testing.T) { atest.Run(t, analysis.GuardedBy, "guardedby") }
+
+func TestDetOrder(t *testing.T) { atest.Run(t, analysis.DetOrder, "detorder") }
+
+func TestNilRecv(t *testing.T) { atest.Run(t, analysis.NilRecv, "nilrecv") }
+
+func TestWalErr(t *testing.T) { atest.Run(t, analysis.WalErr, "walerr") }
+
+// TestAll makes sure the vet driver registers every analyzer exactly once.
+func TestAll(t *testing.T) {
+	all := analysis.All()
+	if len(all) != 4 {
+		t.Fatalf("All() returned %d analyzers, want 4", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"dblshguardedby", "dblshdetorder", "dblshnilrecv", "dblshwalerr"} {
+		if !seen[name] {
+			t.Errorf("missing analyzer %s", name)
+		}
+	}
+}

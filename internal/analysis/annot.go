@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Annotation verbs. An annotation is a comment line of the form
+//
+//	// dblsh:<verb> [args...]
+//
+// attached to the declaration it governs (field line or doc comment, func
+// doc, type doc, package doc) or, for statement-level verbs, written on the
+// statement's line or the line directly above it.
+const (
+	verbGuardedBy      = "guardedby"
+	verbLocked         = "locked"
+	verbExclusive      = "exclusive"
+	verbDeterministic  = "deterministic"
+	verbOrderInvariant = "orderinvariant"
+	verbKernelImpl     = "kernelimpl"
+	verbDispatch       = "dispatch"
+	verbNilSafe        = "nilsafe"
+	verbIgnoreErr      = "ignore-err"
+)
+
+// annot is one parsed dblsh: directive.
+type annot struct {
+	verb string
+	args []string
+	pos  token.Pos
+}
+
+// parseAnnots extracts every dblsh: directive from a comment group.
+func parseAnnots(groups ...*ast.CommentGroup) []annot {
+	var out []annot
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSuffix(text, "*/")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "dblsh:") {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(text, "dblsh:"))
+			if len(fields) == 0 {
+				continue
+			}
+			out = append(out, annot{verb: fields[0], args: fields[1:], pos: c.Pos()})
+		}
+	}
+	return out
+}
+
+// hasVerb reports whether any annotation in the list carries the verb.
+func hasVerb(annots []annot, verb string) bool {
+	for _, a := range annots {
+		if a.verb == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether the file containing pos is a _test.go file.
+// The suite's invariants are about concurrent production state; tests
+// routinely poke at single-threaded white-box snapshots of it.
+func isTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	f := pass.Fset.File(pos)
+	return f == nil || strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// packageMarked reports whether any file's package comment in pass carries
+// the given verb (e.g. dblsh:deterministic).
+func packageMarked(pass *analysis.Pass, verb string) bool {
+	for _, f := range pass.Files {
+		if hasVerb(parseAnnots(f.Doc), verb) {
+			return true
+		}
+	}
+	return false
+}
+
+// lineAnnots indexes statement-level annotations by file and line so a
+// check at statement S can ask "is there a dblsh:<verb> on S's line or the
+// line above it?".
+type lineAnnots struct {
+	fset  *token.FileSet
+	verbs map[string]map[int]bool // filename -> line -> annotated
+}
+
+// newLineAnnots scans every comment in the files for the given verb.
+func newLineAnnots(pass *analysis.Pass, verb string) *lineAnnots {
+	la := &lineAnnots{fset: pass.Fset, verbs: make(map[string]map[int]bool)}
+	for _, f := range pass.Files {
+		for _, g := range f.Comments {
+			for _, a := range parseAnnots(g) {
+				if a.verb != verb {
+					continue
+				}
+				p := pass.Fset.Position(a.pos)
+				m := la.verbs[p.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					la.verbs[p.Filename] = m
+				}
+				m[p.Line] = true
+			}
+		}
+	}
+	return la
+}
+
+// at reports whether the annotation appears on pos's line or the line
+// directly above it.
+func (la *lineAnnots) at(pos token.Pos) bool {
+	p := la.fset.Position(pos)
+	m := la.verbs[p.Filename]
+	return m != nil && (m[p.Line] || m[p.Line-1])
+}
+
+// funcAnnots collects the dblsh: directives of every FuncDecl in the
+// package, keyed by the *ast.FuncDecl node.
+func funcAnnots(pass *analysis.Pass) map[*ast.FuncDecl][]annot {
+	out := make(map[*ast.FuncDecl][]annot)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if as := parseAnnots(fd.Doc); len(as) > 0 {
+					out[fd] = as
+				}
+			}
+		}
+	}
+	return out
+}
+
+// enclosingFuncs returns the function nodes (FuncLit or FuncDecl) in the
+// stack, innermost first. The stack is as delivered by inspector.WithStack
+// (outermost first), so the result is reversed.
+func enclosingFuncs(stack []ast.Node) []ast.Node {
+	var out []ast.Node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			out = append(out, stack[i])
+		}
+	}
+	return out
+}
+
+// funcBody returns the body of a FuncLit or FuncDecl node.
+func funcBody(n ast.Node) *ast.BlockStmt {
+	switch fn := n.(type) {
+	case *ast.FuncLit:
+		return fn.Body
+	case *ast.FuncDecl:
+		return fn.Body
+	}
+	return nil
+}
+
+// inspectShallow walks body, calling fn on every node but not descending
+// into nested function literals — a lock taken inside a nested goroutine
+// does not protect the enclosing frame.
+func inspectShallow(body ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// rootIdent descends a selector/index/paren/star chain to its base
+// identifier: rootIdent(sr.set.shards[i].idx) == sr. Returns nil when the
+// base is not a plain identifier (e.g. a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

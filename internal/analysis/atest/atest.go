@@ -1,0 +1,235 @@
+// Package atest is a minimal analysistest replacement: it loads a fixture
+// package from testdata/src, type-checks it against the real standard
+// library plus any sibling fixture packages, runs an analyzer (resolving
+// its Requires graph), and matches the reported diagnostics against
+// `// want "regex"` comments, analysistest-style.
+//
+// It exists because the module vendors only the x/tools subset shipped
+// inside the Go distribution (the toolchain's own vendored copy), which
+// does not include go/analysis/analysistest. The harness supports exactly
+// what the dblsh analyzer fixtures need: no facts, no suggested-fix
+// application, single-package loads with intra-testdata imports.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads testdata/src/<pkgPath> (relative to the test's working
+// directory), applies a, and asserts the diagnostics equal the fixture's
+// `// want` expectations.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	ld := newLoader("testdata/src")
+	pkg, files, info, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       ld.fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   make(map[*analysis.Analyzer]interface{}),
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := runWithRequires(pass, a); err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	checkWants(t, ld.fset, files, diags)
+}
+
+// runWithRequires runs a's Requires (results feeding pass.ResultOf), then a
+// itself. Dependency analyzers report through a discarding func: only the
+// analyzer under test gets to fail the fixture.
+func runWithRequires(pass *analysis.Pass, a *analysis.Analyzer) error {
+	for _, req := range a.Requires {
+		if _, done := pass.ResultOf[req]; done {
+			continue
+		}
+		sub := *pass
+		sub.Analyzer = req
+		sub.Report = func(analysis.Diagnostic) {}
+		if err := runWithRequires(&sub, req); err != nil {
+			return err
+		}
+		res, err := req.Run(&sub)
+		if err != nil {
+			return fmt.Errorf("requirement %s: %w", req.Name, err)
+		}
+		pass.ResultOf[req] = res
+	}
+	_, err := a.Run(pass)
+	return err
+}
+
+// loader type-checks fixture packages, resolving imports first against
+// sibling directories under root (so fixtures can fake internal packages
+// like dblsh/internal/wal), then against the installed standard library via
+// the source importer.
+type loader struct {
+	fset  *token.FileSet
+	root  string
+	std   types.Importer
+	cache map[string]*loaded
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:  fset,
+		root:  root,
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*loaded),
+	}
+}
+
+// Import makes the loader usable as the fixture packages' importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		pkg, _, _, err := ld.load(path)
+		return pkg, err
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	if c, ok := ld.cache[path]; ok {
+		return c.pkg, c.files, c.info, nil
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ld.cache[path] = &loaded{pkg: pkg, files: files, info: info}
+	return pkg, files, info, nil
+}
+
+// want is one expectation: a diagnostic on a given file line whose message
+// matches the regexp.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// wantRE accepts both the standalone `// want "..."` form and a want
+// clause trailing other comment text (used when the diagnostic anchors to
+// an annotation comment itself).
+var wantRE = regexp.MustCompile(`//(?:.*?[\s])?want\s+(.*)`)
+var wantArgRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// checkWants cross-matches diagnostics against the fixtures' want comments
+// and fails the test on any mismatch in either direction.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					raw := arg[1]
+					if raw == "" {
+						raw = arg[2]
+						if unq, err := unquote(raw); err == nil {
+							raw = unq
+						}
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// unquote reverses the escaping inside a double-quoted want argument.
+func unquote(s string) (string, error) {
+	r := strings.NewReplacer(`\"`, `"`, `\\`, `\`)
+	return r.Replace(s), nil
+}

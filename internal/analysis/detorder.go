@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// DetOrder checks determinism discipline in packages whose package comment
+// carries `dblsh:deterministic`: candidate streams must not depend on map
+// iteration order, select-race winners, or runtime-value kernel choices made
+// outside the blessed dispatch sites.
+var DetOrder = &analysis.Analyzer{
+	Name: "dblshdetorder",
+	Doc: "in dblsh:deterministic packages, flag map ranges, multi-send selects, " +
+		"and kernel-implementation references outside dispatch sites",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runDetOrder,
+}
+
+func runDetOrder(pass *analysis.Pass) (interface{}, error) {
+	if !packageMarked(pass, verbDeterministic) {
+		return nil, nil
+	}
+	orderInv := newLineAnnots(pass, verbOrderInvariant)
+	annots := funcAnnots(pass)
+	kernels := kernelImplObjects(pass, annots)
+	in := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodes := []ast.Node{
+		(*ast.RangeStmt)(nil),
+		(*ast.SelectStmt)(nil),
+		(*ast.Ident)(nil),
+	}
+	in.WithStack(nodes, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push || isTestFile(pass, n.Pos()) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			checkMapRange(pass, n, orderInv)
+		case *ast.SelectStmt:
+			checkMultiSendSelect(pass, n)
+		case *ast.Ident:
+			checkKernelRef(pass, n, kernels, stack, annots)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// kernelImplObjects maps each dblsh:kernelimpl-annotated function to its
+// type-checker object so references can be resolved by identity.
+func kernelImplObjects(pass *analysis.Pass, annots map[*ast.FuncDecl][]annot) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for fd, as := range annots {
+		if hasVerb(as, verbKernelImpl) {
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkMapRange flags `for ... := range m` when m is a map, unless the
+// statement is annotated `// dblsh:orderinvariant <why>` (the body must then
+// be genuinely order-insensitive, e.g. collect-then-sort).
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, orderInv *lineAnnots) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if orderInv.at(rng.Pos()) {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"range over a map in a dblsh:deterministic package: iteration order is random; sort first, or annotate the statement // dblsh:orderinvariant <why> if the body is order-insensitive")
+}
+
+// checkMultiSendSelect flags a select with two or more send cases: when more
+// than one is ready the runtime picks pseudo-randomly, so downstream
+// consumers observe a nondeterministic interleaving.
+func checkMultiSendSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	sends := 0
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		if _, ok := cc.Comm.(*ast.SendStmt); ok {
+			sends++
+		}
+	}
+	if sends >= 2 {
+		pass.Reportf(sel.Pos(),
+			"select with %d send cases in a dblsh:deterministic package: the runtime picks a ready case pseudo-randomly, so result interleaving is nondeterministic", sends)
+	}
+}
+
+// checkKernelRef flags a reference to a dblsh:kernelimpl function from
+// anywhere but a dispatch site: the dispatch table itself (a var declaration
+// annotated dblsh:dispatch), a function annotated dblsh:dispatch, or another
+// kernel implementation. Everywhere else must go through the table, so a
+// runtime value can never silently select a different summation order.
+func checkKernelRef(pass *analysis.Pass, id *ast.Ident, kernels map[types.Object]bool, stack []ast.Node, annots map[*ast.FuncDecl][]annot) {
+	if len(kernels) == 0 {
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || !kernels[obj] {
+		return
+	}
+	for _, n := range stack {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			as := annots[n]
+			if hasVerb(as, verbDispatch) || hasVerb(as, verbKernelImpl) {
+				return
+			}
+		case *ast.GenDecl:
+			if hasVerb(parseAnnots(n.Doc), verbDispatch) {
+				return
+			}
+		case *ast.ValueSpec:
+			if hasVerb(parseAnnots(n.Doc, n.Comment), verbDispatch) {
+				return
+			}
+		}
+	}
+	pass.Reportf(id.Pos(),
+		"reference to kernel implementation %s outside a dblsh:dispatch site: choosing kernels on runtime values changes summation order; route the call through the dispatch table", id.Name)
+}

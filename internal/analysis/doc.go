@@ -1,0 +1,47 @@
+// Package analysis is dblsh's project-specific static-analysis suite: four
+// golang.org/x/tools/go/analysis analyzers that machine-check the invariants
+// the library's correctness argument leans on, so they are enforced by `go
+// vet -vettool` in CI instead of by reviewer memory. The cmd/dblsh-lint
+// binary wires them into the vet driver; scripts/lint.sh runs them exactly
+// as CI does.
+//
+// # Analyzers
+//
+//   - guardedby: struct fields annotated `// dblsh:guardedby <mutex>` must
+//     only be read or written while that sibling mutex is held (a
+//     Lock/RLock on the same receiver in an enclosing function), via
+//     sync/atomic, or in functions annotated `// dblsh:locked <mutex>` /
+//     `// dblsh:exclusive`. Fields annotated `// dblsh:guardedby caller`
+//     are externally serialized: they may not be touched from inside a
+//     `go func` literal (spawning concurrency around caller-serialized
+//     state is exactly the bug class) unless the enclosing function is
+//     annotated exclusive. The PR 8 SetQuantize data race — a plain field
+//     written by a setter that never took the guarding lock — is the
+//     analyzer's regression fixture.
+//
+//   - detorder: in packages whose package comment carries
+//     `dblsh:deterministic`, flag the constructs that make candidate
+//     streams depend on runtime accidents: ranging over a map (unless the
+//     statement is annotated `// dblsh:orderinvariant <why>`), a select
+//     with two or more send cases, and any reference to a distance-kernel
+//     implementation (`// dblsh:kernelimpl`) outside the dispatch table or
+//     a function annotated `// dblsh:dispatch`. The PR 8 +Inf fast path —
+//     a bound-dependent branch selecting a different-summation-order
+//     kernel — is the regression fixture.
+//
+//   - nilrecv: pointer-receiver methods on types annotated
+//     `// dblsh:nilsafe` (the obs metric types) must begin with a
+//     nil-receiver guard before any receiver field access, preserving the
+//     "uninstrumented layers pay one nil check" contract.
+//
+//   - walerr: error results from calls into internal/wal, from os.Rename,
+//     and from (*os.File).Sync must not be discarded (`_ =`, bare call
+//     statement, go/defer) — dropping one silently converts a durability
+//     failure into data loss. `// dblsh:ignore-err <why>` on the statement
+//     suppresses a deliberate discard.
+//
+// All four analyzers skip _test.go files: tests exercise single-threaded
+// white-box states where the invariants deliberately do not apply.
+//
+// The full annotation grammar is documented in CONTRIBUTING.md.
+package analysis

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// GuardedBy checks the per-field locking discipline declared by
+// `// dblsh:guardedby <mutex>` annotations. See the package doc for the
+// rules and CONTRIBUTING.md for the grammar.
+var GuardedBy = &analysis.Analyzer{
+	Name: "dblshguardedby",
+	Doc: "check that fields annotated dblsh:guardedby are only accessed " +
+		"under their mutex, via sync/atomic, or in dblsh:locked/exclusive functions",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runGuardedBy,
+}
+
+// guardSpec is one annotated field's contract.
+type guardSpec struct {
+	mutex  string // sibling mutex field name, or "" when caller-serialized
+	caller bool   // `guardedby caller`: externally serialized
+}
+
+func runGuardedBy(pass *analysis.Pass) (interface{}, error) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	annots := funcAnnots(pass)
+	in := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	in.WithStack([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		sel := n.(*ast.SelectorExpr)
+		if isTestFile(pass, sel.Pos()) {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		obj, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		spec, guarded := guards[obj]
+		if !guarded {
+			return true
+		}
+		if isAtomicType(obj.Type()) || isAtomicArg(sel, stack, pass) {
+			return true // accessed via sync/atomic: always safe
+		}
+		if spec.caller {
+			checkCallerSerialized(pass, sel, obj, spec, stack, annots)
+		} else {
+			checkMutexGuarded(pass, sel, obj, spec, stack, annots)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// collectGuards finds every dblsh:guardedby-annotated struct field and
+// validates its annotation against the declaring struct.
+func collectGuards(pass *analysis.Pass) map[*types.Var]guardSpec {
+	guards := make(map[*types.Var]guardSpec)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, a := range parseAnnots(field.Doc, field.Comment) {
+					if a.verb != verbGuardedBy {
+						continue
+					}
+					if len(a.args) == 0 {
+						pass.Reportf(a.pos, "dblsh:guardedby wants an argument (a sibling mutex field or \"caller\")")
+						continue
+					}
+					var spec guardSpec
+					if a.args[0] == "caller" {
+						spec.caller = true
+					} else {
+						spec.mutex = a.args[0]
+						if !structHasMutex(pass, st, spec.mutex) {
+							pass.Reportf(a.pos, "dblsh:guardedby names %q, but the struct has no sync.Mutex/RWMutex field of that name", spec.mutex)
+							continue
+						}
+					}
+					for _, name := range field.Names {
+						if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+							guards[v] = spec
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// structHasMutex reports whether st declares a field named name whose type
+// is sync.Mutex or sync.RWMutex (possibly behind a pointer).
+func structHasMutex(pass *analysis.Pass, st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name != name {
+				continue
+			}
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return false
+			}
+			o := named.Obj()
+			return o.Pkg() != nil && o.Pkg().Path() == "sync" &&
+				(o.Name() == "Mutex" || o.Name() == "RWMutex")
+		}
+	}
+	return false
+}
+
+// isAtomicType reports whether t is one of sync/atomic's type-level atomics
+// (atomic.Int64, atomic.Pointer[T], ...): every access to such a field goes
+// through its methods and is safe by construction.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Pkg() != nil && o.Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicArg reports whether sel appears as &sel in an argument to a
+// sync/atomic function call (atomic.LoadInt64(&s.n) and friends).
+func isAtomicArg(sel *ast.SelectorExpr, stack []ast.Node, pass *analysis.Pass) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	unary, ok := stack[len(stack)-2].(*ast.UnaryExpr)
+	if !ok || unary.X != sel {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := pass.TypesInfo.Uses[calleeIdent(call)].(*types.Func); ok {
+		return fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+	}
+	return false
+}
+
+// calleeIdent returns the rightmost identifier of a call's callee
+// expression (atomic.LoadInt64 -> LoadInt64).
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn
+	case *ast.SelectorExpr:
+		return fn.Sel
+	}
+	return nil
+}
+
+// checkMutexGuarded enforces the `guardedby <mutex>` rule: some enclosing
+// function must lock <mutex> on the same receiver value, or carry a
+// dblsh:locked/exclusive annotation.
+func checkMutexGuarded(pass *analysis.Pass, sel *ast.SelectorExpr, obj *types.Var, spec guardSpec, stack []ast.Node, annots map[*ast.FuncDecl][]annot) {
+	root := rootObj(pass, sel.X)
+	for _, fn := range enclosingFuncs(stack) {
+		if fd, ok := fn.(*ast.FuncDecl); ok {
+			for _, a := range annots[fd] {
+				if a.verb == verbExclusive {
+					return
+				}
+				if a.verb == verbLocked && len(a.args) > 0 && a.args[0] == spec.mutex {
+					return
+				}
+			}
+		}
+		if body := funcBody(fn); body != nil && frameLocks(pass, body, spec.mutex, root) {
+			return
+		}
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"field %s is guarded by %q but accessed without holding it (lock it in this function, or annotate the function // dblsh:locked %s)",
+		obj.Name(), spec.mutex, spec.mutex)
+}
+
+// checkCallerSerialized enforces the `guardedby caller` rule: the field's
+// owner is serialized by its callers, so touching it from a `go func`
+// literal introduces concurrency nobody serializes — unless an enclosing
+// function is annotated dblsh:exclusive (construction before publication)
+// or dblsh:locked (the caller's lock covers the spawned work).
+func checkCallerSerialized(pass *analysis.Pass, sel *ast.SelectorExpr, obj *types.Var, spec guardSpec, stack []ast.Node, annots map[*ast.FuncDecl][]annot) {
+	inGoroutine := false
+	for i := 2; i < len(stack); i++ {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		// In `go func(){...}()` the literal's parent is the CallExpr and the
+		// GoStmt is one frame further out; an immediately-invoked literal has
+		// the same CallExpr parent but no GoStmt above it and runs inline.
+		call, ok := stack[i-1].(*ast.CallExpr)
+		if !ok || call.Fun != lit {
+			continue
+		}
+		if g, ok := stack[i-2].(*ast.GoStmt); ok && g.Call == call {
+			inGoroutine = true
+		}
+	}
+	if !inGoroutine {
+		return
+	}
+	for _, fn := range enclosingFuncs(stack) {
+		fd, ok := fn.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		for _, a := range annots[fd] {
+			if a.verb == verbExclusive || a.verb == verbLocked {
+				return
+			}
+		}
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"field %s is caller-serialized (dblsh:guardedby caller) but accessed from a go statement; annotate the spawning function // dblsh:exclusive if it has sole access",
+		obj.Name())
+}
+
+// rootObj resolves the base identifier of a selector chain to its object.
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// frameLocks reports whether body (not descending into nested function
+// literals) contains a call <base>.<mutex>.Lock() or <base>.<mutex>.RLock()
+// whose base resolves to root. When root is unresolvable the receiver text
+// is not compared and any lock of that mutex name in the frame counts.
+func frameLocks(pass *analysis.Pass, body *ast.BlockStmt, mutex string, root types.Object) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (fn.Sel.Name != "Lock" && fn.Sel.Name != "RLock") {
+			return true
+		}
+		recv, ok := fn.X.(*ast.SelectorExpr)
+		if !ok || recv.Sel.Name != mutex {
+			return true
+		}
+		if root != nil {
+			if lockRoot := rootObj(pass, recv.X); lockRoot != nil && lockRoot != root {
+				return true
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}

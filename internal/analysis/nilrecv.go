@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// NilRecv checks that pointer-receiver methods on types annotated
+// `// dblsh:nilsafe` start with a nil-receiver guard before touching any
+// receiver field, so a nil metric handle stays a cheap no-op instead of a
+// panic.
+var NilRecv = &analysis.Analyzer{
+	Name: "dblshnilrecv",
+	Doc: "pointer-receiver methods on dblsh:nilsafe types must begin with " +
+		"a nil-receiver guard before any receiver field access",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runNilRecv,
+}
+
+func runNilRecv(pass *analysis.Pass) (interface{}, error) {
+	nilsafe := nilSafeTypes(pass)
+	if len(nilsafe) == 0 {
+		return nil, nil
+	}
+	in := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	in.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil || isTestFile(pass, fd.Pos()) {
+			return
+		}
+		recvField := fd.Recv.List[0]
+		if len(recvField.Names) == 0 || recvField.Names[0].Name == "_" {
+			return // unnamed receiver cannot access fields
+		}
+		recvObj := pass.TypesInfo.Defs[recvField.Names[0]]
+		if recvObj == nil {
+			return
+		}
+		ptr, ok := recvObj.Type().(*types.Pointer)
+		if !ok {
+			return // value receivers copy; a nil pointer never reaches them
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok || !nilsafe[named.Obj()] {
+			return
+		}
+		if !accessesRecvField(pass, fd.Body, recvObj) {
+			return // method only forwards to other methods; their guards apply
+		}
+		if hasNilGuard(pass, fd.Body, recvObj) {
+			return
+		}
+		pass.Reportf(fd.Name.Pos(),
+			"method %s on dblsh:nilsafe type %s accesses receiver fields without a leading `if %s == nil` guard",
+			fd.Name.Name, named.Obj().Name(), recvField.Names[0].Name)
+	})
+	return nil, nil
+}
+
+// nilSafeTypes collects the type-name objects of every type whose
+// declaration carries `// dblsh:nilsafe`.
+func nilSafeTypes(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			declAnnots := parseAnnots(gd.Doc)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				as := append(parseAnnots(ts.Doc, ts.Comment), declAnnots...)
+				if !hasVerb(as, verbNilSafe) {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// accessesRecvField reports whether body contains a field selection rooted
+// at the receiver object (method calls on the receiver don't count — the
+// callee performs its own guard).
+func accessesRecvField(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		if id := rootIdent(sel.X); id != nil && pass.TypesInfo.Uses[id] == recv {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// hasNilGuard reports whether the first statement of body is
+//
+//	if recv == nil { ... return ... }
+//
+// or `if recv == nil || <more> { ... return ... }` with the nil check as the
+// leftmost term of the || chain, so it is evaluated before anything that
+// could dereference the receiver.
+func hasNilGuard(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	cond := ifStmt.Cond
+	for {
+		bin, ok := cond.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		if bin.Op == token.LOR {
+			cond = bin.X
+			continue
+		}
+		if bin.Op != token.EQL {
+			return false
+		}
+		if !isNilCheck(pass, bin, recv) {
+			return false
+		}
+		break
+	}
+	return endsInReturn(ifStmt.Body)
+}
+
+// isNilCheck reports whether bin is `recv == nil` or `nil == recv`.
+func isNilCheck(pass *analysis.Pass, bin *ast.BinaryExpr, recv types.Object) bool {
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isBuiltinNil := pass.TypesInfo.Uses[id].(*types.Nil)
+		return isBuiltinNil
+	}
+	return (isRecv(bin.X) && isNil(bin.Y)) || (isNil(bin.X) && isRecv(bin.Y))
+}
+
+// endsInReturn reports whether the block's last statement bails out of the
+// method (return or panic).
+func endsInReturn(block *ast.BlockStmt) bool {
+	if len(block.List) == 0 {
+		return false
+	}
+	switch last := block.List[len(block.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

@@ -1,0 +1,22 @@
+// Package wal is a fixture stand-in for dblsh/internal/wal: just enough
+// surface for the walerr analyzer to recognize durability calls by package
+// path suffix.
+package wal
+
+// Writer is a minimal WAL handle.
+type Writer struct{}
+
+// Append appends one record.
+func (w *Writer) Append(rec []byte) error { return nil }
+
+// Sync flushes buffered records to stable storage.
+func (w *Writer) Sync() error { return nil }
+
+// Rotate seals the current segment and starts a new one.
+func (w *Writer) Rotate() (string, error) { return "", nil }
+
+// Open opens a writer on dir.
+func Open(dir string) (*Writer, error) { return &Writer{}, nil }
+
+// Size reports the current segment size; no error to discard.
+func (w *Writer) Size() int64 { return 0 }

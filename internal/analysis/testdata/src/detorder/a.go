@@ -1,0 +1,134 @@
+// Package detorder fixtures: determinism discipline in marked packages.
+//
+// dblsh:deterministic
+package detorder
+
+import "math"
+
+// collectNames ranges over a map feeding ordered output: flagged.
+func collectNames(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over a map in a dblsh:deterministic package`
+		out = append(out, k)
+	}
+	return out
+}
+
+// countValues ranges over a map but is genuinely order-insensitive, and
+// says so.
+func countValues(m map[string]int) int {
+	total := 0
+	// dblsh:orderinvariant summing is commutative
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceRange is not a map range: fine.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// raceSends has two ready sends: the runtime picks pseudo-randomly.
+func raceSends(a, b chan int, v int) {
+	select { // want `select with 2 send cases in a dblsh:deterministic package`
+	case a <- v:
+	case b <- v:
+	}
+}
+
+// oneSend is a send with a default: a single send case is fine.
+func oneSend(a chan int, v int) {
+	select {
+	case a <- v:
+	default:
+	}
+}
+
+// recvSelect only receives: receives don't reorder result streams.
+func recvSelect(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// distSlow is a kernel implementation: one summation order.
+//
+// dblsh:kernelimpl
+func distSlow(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// distFast is another kernel implementation with a different summation
+// order.
+//
+// dblsh:kernelimpl
+func distFast(a, b []float64) float64 {
+	var s0, s1 float64
+	i := 0
+	for ; i+2 <= len(a); i += 2 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		s0 += d0 * d0
+		s1 += d1 * d1
+	}
+	s := s0 + s1
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// kernelTable is the blessed dispatch site.
+//
+// dblsh:dispatch
+var kernelTable = map[string]func(a, b []float64) float64{
+	"slow": distSlow,
+	"fast": distFast,
+}
+
+var active = kernelTable["slow"]
+
+// Dist routes through the table: fine.
+func Dist(a, b []float64) float64 { return active(a, b) }
+
+// DistBounded is the PR 8 +Inf fast-path regression shape: a
+// bound-dependent branch selects a kernel with a different summation
+// order, so the same row's distance differs by ulps depending on the bound.
+func DistBounded(a, b []float64, bound float64) float64 {
+	if math.IsInf(bound, 1) {
+		return distFast(a, b) // want `reference to kernel implementation distFast outside a dblsh:dispatch site`
+	}
+	return active(a, b)
+}
+
+// pickKernel is an annotated dispatch helper: allowed to name kernels.
+//
+// dblsh:dispatch
+func pickKernel(name string) func(a, b []float64) float64 {
+	if name == "fast" {
+		return distFast
+	}
+	return distSlow
+}
+
+// distPair is itself a kernel implementation, so it may build on another.
+//
+// dblsh:kernelimpl
+func distPair(a, b, c []float64) (float64, float64) {
+	return distSlow(a, b), distSlow(a, c)
+}

@@ -1,0 +1,129 @@
+// Package guardedby fixtures: the dblsh:guardedby locking discipline.
+package guardedby
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Set mirrors the shape of internal/shard.Set around the PR 8 SetQuantize
+// bug: a plain string field documented as lock-guarded, with a setter that
+// never took the lock.
+type Set struct {
+	mu       sync.RWMutex
+	quantize string // dblsh:guardedby mu
+	count    int    // dblsh:guardedby mu
+	par      atomic.Int64
+	flat     int64 // dblsh:guardedby mu — accessed via sync/atomic below
+}
+
+// SetQuantize is the PR 8 regression: writing a guarded field without the
+// guarding mutex (the shipped fix made the field an atomic).
+func (s *Set) SetQuantize(q string) {
+	s.quantize = q // want `field quantize is guarded by "mu" but accessed without holding it`
+}
+
+// SetQuantizeLocked is the corrected pattern.
+func (s *Set) SetQuantizeLocked(q string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quantize = q
+}
+
+// Quantize reads under the read lock.
+func (s *Set) Quantize() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.quantize
+}
+
+// quantizeLocked relies on its callers' lock, and says so.
+//
+// dblsh:locked mu
+func (s *Set) quantizeLocked() string { return s.quantize }
+
+// wrongLockAnnotation names a different mutex, so it does not excuse mu.
+//
+// dblsh:locked other
+func (s *Set) wrongLockAnnotation() string {
+	return s.quantize // want `field quantize is guarded by "mu" but accessed without holding it`
+}
+
+// Par uses the atomic field: type-level atomics are exempt.
+func (s *Set) Par() int64 { return s.par.Load() }
+
+// Flat goes through sync/atomic on the plain field: also exempt.
+func (s *Set) Flat() int64 { return atomic.LoadInt64(&s.flat) }
+
+// FlatRaw reads the same field directly, which is a race.
+func (s *Set) FlatRaw() int64 {
+	return s.flat // want `field flat is guarded by "mu" but accessed without holding it`
+}
+
+// otherLock locks the right mutex name on the WRONG receiver: no excuse.
+func (s *Set) otherLock(t *Set) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return s.count // want `field count is guarded by "mu" but accessed without holding it`
+}
+
+// closureUnderLock accesses a guarded field from a closure while an
+// enclosing frame holds the lock — allowed (the emit-closure pattern of
+// the shard coordinator).
+func (s *Set) closureUnderLock(visit func(int)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	emit := func() { visit(s.count) }
+	emit()
+}
+
+// goroutineLocksItself takes the lock inside the spawned goroutine.
+func (s *Set) goroutineLocksItself() {
+	go func() {
+		s.mu.Lock()
+		s.count++
+		s.mu.Unlock()
+	}()
+}
+
+// badAnnotation names a mutex the struct does not have.
+type badAnnotation struct {
+	n int // dblsh:guardedby missing — want `dblsh:guardedby names "missing", but the struct has no sync.Mutex/RWMutex field of that name`
+}
+
+var _ = badAnnotation{}
+
+// Writer mirrors internal/wal.Writer: caller-serialized state.
+type Writer struct {
+	size  int64 // dblsh:guardedby caller
+	dirty bool  // dblsh:guardedby caller
+}
+
+// Append touches caller-serialized fields synchronously: fine.
+func (w *Writer) Append(n int64) {
+	w.size += n
+	w.dirty = true
+}
+
+// leak spawns a goroutine around caller-serialized state: the caller's
+// serialization cannot cover it.
+func (w *Writer) leak() {
+	go func() {
+		w.dirty = false // want `field dirty is caller-serialized \(dblsh:guardedby caller\) but accessed from a go statement`
+	}()
+}
+
+// build is construction-time fan-out with exclusive access, like
+// core.Build / shard.Build.
+//
+// dblsh:exclusive the writer is unpublished during build
+func build() *Writer {
+	w := &Writer{}
+	done := make(chan struct{})
+	go func() {
+		w.size = 1
+		close(done)
+	}()
+	<-done
+	return w
+}

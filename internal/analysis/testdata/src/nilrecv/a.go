@@ -1,0 +1,86 @@
+// Package nilrecv fixtures: nil-receiver guards on dblsh:nilsafe types.
+package nilrecv
+
+import "time"
+
+// Counter mirrors internal/obs.Counter: a nil *Counter must be a usable
+// no-op handle.
+//
+// dblsh:nilsafe
+type Counter struct {
+	v    int64
+	name string
+}
+
+// Add has the canonical guard.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Value forgets the guard before reading a field.
+func (c *Counter) Value() int64 { // want `method Value on dblsh:nilsafe type Counter accesses receiver fields without a leading`
+	return c.v
+}
+
+// Name guards with a compound condition whose leftmost term is the nil
+// check: allowed (the SlowLog.Observe pattern).
+func (c *Counter) Name(fallback string) string {
+	if c == nil || c.name == "" {
+		return fallback
+	}
+	return c.name
+}
+
+// guardAfterWork does the nil check too late.
+func (c *Counter) guardAfterWork() int64 { // want `method guardAfterWork on dblsh:nilsafe type Counter accesses receiver fields without a leading`
+	v := c.v
+	if c == nil {
+		return 0
+	}
+	return v
+}
+
+// panicGuard ends its guard in panic instead of return: also allowed.
+func (c *Counter) panicGuard() int64 {
+	if c == nil {
+		panic("nil Counter")
+	}
+	return c.v
+}
+
+// Inc only delegates to another method, which carries its own guard: no
+// field access, no guard needed.
+func (c *Counter) Inc() { c.Add(1) }
+
+// wrongOrderGuard checks nil on the right of the ||, so evaluation of the
+// left term can still dereference nil.
+func (c *Counter) wrongOrderGuard() int64 { // want `method wrongOrderGuard on dblsh:nilsafe type Counter accesses receiver fields without a leading`
+	if c.v == 0 || c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Plain is not annotated: its methods are out of scope.
+type Plain struct {
+	d time.Duration
+}
+
+// D accesses a field with no guard, but Plain is not dblsh:nilsafe.
+func (p *Plain) D() time.Duration { return p.d }
+
+// ByValue has a value receiver on a nilsafe type: value receivers cannot
+// be nil, so no guard is required.
+//
+// dblsh:nilsafe
+type ByValue struct{ n int }
+
+func (b ByValue) N() int { return b.n }
+
+var _ = []interface{}{
+	(*Counter).Value, (*Counter).guardAfterWork, (*Counter).panicGuard,
+	(*Counter).wrongOrderGuard, (*Plain).D, ByValue.N,
+}

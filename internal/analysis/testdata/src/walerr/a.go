@@ -1,0 +1,87 @@
+// Package walerr fixtures: durability-path errors must not be discarded.
+package walerr
+
+import (
+	"log"
+	"os"
+
+	"dblsh/internal/wal"
+)
+
+// bareSync drops the flush error on the floor.
+func bareSync(w *wal.Writer) {
+	w.Sync() // want `error from Sync is discarded`
+}
+
+// blankSync discards it explicitly, which is just as lossy.
+func blankSync(w *wal.Writer) {
+	_ = w.Sync() // want `error from Sync is discarded`
+}
+
+// deferSync defers the flush with no way to observe its error.
+func deferSync(w *wal.Writer) {
+	defer w.Sync() // want `error from Sync is discarded`
+}
+
+// goAppend fires the append into the void.
+func goAppend(w *wal.Writer, rec []byte) {
+	go w.Append(rec) // want `error from Append is discarded`
+}
+
+// handled checks the error: fine.
+func handled(w *wal.Writer, rec []byte) error {
+	if err := w.Append(rec); err != nil {
+		return err
+	}
+	return w.Sync()
+}
+
+// blankRotate keeps the segment name but blanks the error.
+func blankRotate(w *wal.Writer) string {
+	name, _ := w.Rotate() // want `error from Rotate is discarded`
+	return name
+}
+
+// rotateHandled keeps both results.
+func rotateHandled(w *wal.Writer) (string, error) {
+	return w.Rotate()
+}
+
+// bareRename drops the checkpoint-publish error.
+func bareRename(tmp, final string) {
+	os.Rename(tmp, final) // want `error from Rename is discarded`
+}
+
+// fileSync drops an *os.File fsync.
+func fileSync(f *os.File) {
+	f.Sync() // want `error from Sync is discarded`
+}
+
+// noErrorResult returns no error: nothing to discard.
+func noErrorResult(w *wal.Writer) int64 {
+	return w.Size()
+}
+
+// acknowledged documents why the error is dropped, which the annotation
+// permits.
+func acknowledged(w *wal.Writer) {
+	// dblsh:ignore-err best-effort flush on shutdown; close path re-syncs
+	w.Sync()
+}
+
+// acknowledgedSameLine uses the trailing-comment form.
+func acknowledgedSameLine(tmp, final string) {
+	os.Rename(tmp, final) // dblsh:ignore-err stale temp cleanup only
+}
+
+// logged consumes the error without returning it: still handled.
+func logged(w *wal.Writer) {
+	if err := w.Sync(); err != nil {
+		log.Printf("wal sync: %v", err)
+	}
+}
+
+// notDurability calls os functions outside the durability surface.
+func notDurability(path string) {
+	os.Remove(path)
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// WalErr checks that errors from the durability path are never discarded:
+// calls into internal/wal, os.Rename, and (*os.File).Sync. Dropping one
+// turns an I/O failure into silent data loss at the next crash.
+var WalErr = &analysis.Analyzer{
+	Name: "dblshwalerr",
+	Doc: "errors from internal/wal calls, os.Rename, and (*os.File).Sync " +
+		"must not be discarded",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runWalErr,
+}
+
+func runWalErr(pass *analysis.Pass) (interface{}, error) {
+	ignore := newLineAnnots(pass, verbIgnoreErr)
+	in := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	in.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		if isTestFile(pass, call.Pos()) {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || !isDurabilityCall(fn) {
+			return true
+		}
+		errIdx := errorResultIndex(fn)
+		if errIdx < 0 {
+			return true
+		}
+		if !discardsError(call, stack, errIdx) {
+			return true
+		}
+		if ignore.at(call.Pos()) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"error from %s is discarded: durability failures must be handled or the statement annotated // dblsh:ignore-err <why>",
+			fn.Name())
+		return true
+	})
+	return nil, nil
+}
+
+// calleeFunc resolves a call's callee to its *types.Func, or nil for
+// indirect calls through plain function values.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// isDurabilityCall reports whether fn is part of the durability surface:
+// anything exported by internal/wal, os.Rename, or the Sync method of
+// *os.File.
+func isDurabilityCall(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if strings.HasSuffix(pkg.Path(), "internal/wal") {
+		return true
+	}
+	if pkg.Path() != "os" {
+		return false
+	}
+	if fn.Name() == "Rename" {
+		return true
+	}
+	if fn.Name() != "Sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	ptr, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "File"
+}
+
+// errorResultIndex returns the index of fn's error result, or -1 when fn
+// returns no error.
+func errorResultIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	res := sig.Results()
+	for i := res.Len() - 1; i >= 0; i-- {
+		if isErrorType(res.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "error" && o.Pkg() == nil
+}
+
+// discardsError reports whether the call's error result at errIdx is
+// dropped: a bare call statement, a go/defer statement, or assignment of
+// the error position to the blank identifier.
+func discardsError(call *ast.CallExpr, stack []ast.Node, errIdx int) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.ExprStmt:
+		return true
+	case *ast.GoStmt:
+		return parent.Call == call
+	case *ast.DeferStmt:
+		return parent.Call == call
+	case *ast.AssignStmt:
+		if len(parent.Rhs) == 1 && parent.Rhs[0] == call {
+			// Multi-value form: the Lhs position matching the error result.
+			if errIdx < len(parent.Lhs) {
+				return isBlank(parent.Lhs[errIdx])
+			}
+			return false
+		}
+		// Tuple form a, b = f(), g(): the call yields one value.
+		for i, rhs := range parent.Rhs {
+			if rhs == call && i < len(parent.Lhs) {
+				return isBlank(parent.Lhs[i])
+			}
+		}
+	}
+	return false
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -14,6 +14,12 @@
 // inspected (Algorithm 1). The (c,k)-ANN generalization follows the rules at
 // the end of Section IV-C: the candidate budget becomes 2tL+k and the
 // distance test applies to the k-th best candidate so far.
+//
+// The package is determinism-critical — the candidate stream and result
+// set must not depend on map order, select winners, or runtime kernel
+// choices — and is patrolled by dblsh-lint's detorder analyzer.
+//
+// dblsh:deterministic
 package core
 
 import (
@@ -125,11 +131,11 @@ func (c Config) Resolved(n int) Config { return c.withDefaults(n) }
 // Index is an immutable DB-LSH index over a dataset. Concurrent queries are
 // safe; each goroutine should use its own Searcher.
 type Index struct {
-	data      *vec.Matrix
+	data      *vec.Matrix // dblsh:guardedby caller
 	cfg       Config
 	family    *lsh.Family
-	projected []*vec.Matrix // L matrices, n×K
-	trees     []*rstar.Tree // L R*-trees
+	projected []*vec.Matrix // dblsh:guardedby caller — L matrices, n×K
+	trees     []*rstar.Tree // dblsh:guardedby caller — L R*-trees
 	r0        float64
 	pool      sync.Pool
 
@@ -138,18 +144,21 @@ type Index struct {
 	// metric-transformed rows (data is already transformed), so cosine and
 	// inner-product indexes get the pre-filter for free. Not persisted:
 	// checkpoint reload rebuilds it from the restored matrix.
-	quant *vec.QuantMatrix
+	quant *vec.QuantMatrix // dblsh:guardedby caller
 
 	// Tombstones: deleted points stay in the trees but are filtered from
 	// query results. Rebuild the index when the deleted fraction grows
 	// large; LSH indexes are cheap to rebuild (bulk loading).
-	deleted      []bool
-	deletedCount int
+	deleted      []bool // dblsh:guardedby caller
+	deletedCount int    // dblsh:guardedby caller
 }
 
 // Build constructs the index: L projections of the dataset and L bulk-loaded
 // R*-trees. Projection and tree construction run in parallel across the L
 // spaces.
+//
+// dblsh:exclusive the index is under construction and unpublished; the
+// build goroutines partition the L projected spaces, so no state is shared
 func Build(data *vec.Matrix, cfg Config) *Index {
 	n := data.Rows()
 	cfg = cfg.withDefaults(n)

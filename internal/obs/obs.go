@@ -68,6 +68,8 @@ func CountBuckets() []float64 {
 }
 
 // Counter is a monotonically increasing integer metric.
+//
+// dblsh:nilsafe
 type Counter struct {
 	v atomic.Int64
 }
@@ -92,6 +94,8 @@ func (c *Counter) Value() int64 {
 }
 
 // Gauge is an integer metric that can go up and down.
+//
+// dblsh:nilsafe
 type Gauge struct {
 	v atomic.Int64
 }
@@ -128,6 +132,8 @@ func (g *Gauge) Value() int64 {
 
 // Histogram is a fixed-bucket distribution metric. Bucket upper bounds are
 // set at registration and never change; observations are lock-free.
+//
+// dblsh:nilsafe
 type Histogram struct {
 	uppers []float64       // sorted upper bounds; +Inf is implicit
 	counts []atomic.Uint64 // len(uppers)+1, last is the +Inf overflow
@@ -205,8 +211,8 @@ type family struct {
 	uppers     []float64 // histograms only
 
 	mu       sync.Mutex
-	children map[string]*child
-	order    []string // child keys in creation order, for stable output
+	children map[string]*child // dblsh:guardedby mu
+	order    []string          // dblsh:guardedby mu — child keys in creation order, for stable output
 }
 
 func (f *family) child(labelValues []string) *child {
@@ -239,8 +245,8 @@ func (f *family) child(labelValues []string) *child {
 // call NewRegistry.
 type Registry struct {
 	mu     sync.Mutex
-	fams   []*family
-	byName map[string]*family
+	fams   []*family          // dblsh:guardedby mu
+	byName map[string]*family // dblsh:guardedby mu
 }
 
 // NewRegistry returns an empty registry.
@@ -300,6 +306,8 @@ func (r *Registry) Counter(name, help string) *Counter {
 }
 
 // CounterVec registers a counter family with the given label names.
+//
+// dblsh:nilsafe
 type CounterVec struct{ f *family }
 
 // CounterVec registers and returns a labeled counter family.
@@ -328,6 +336,8 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 }
 
 // GaugeVec is a labeled gauge family.
+//
+// dblsh:nilsafe
 type GaugeVec struct{ f *family }
 
 // GaugeVec registers and returns a labeled gauge family.
@@ -358,6 +368,8 @@ func (r *Registry) Histogram(name, help string, uppers []float64) *Histogram {
 }
 
 // HistogramVec is a labeled histogram family.
+//
+// dblsh:nilsafe
 type HistogramVec struct{ f *family }
 
 // HistogramVec registers and returns a labeled histogram family.

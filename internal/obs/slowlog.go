@@ -11,6 +11,8 @@ import (
 // operator can tail production for outliers without per-request log
 // volume. A nil *SlowLog is a valid no-op logger, which is how a server
 // runs with slow logging disabled.
+//
+// dblsh:nilsafe
 type SlowLog struct {
 	threshold time.Duration
 	logger    *slog.Logger

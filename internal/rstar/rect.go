@@ -7,6 +7,12 @@
 // The tree indexes points only (no extended objects): each entry is an id
 // into a caller-owned row-major matrix of projected coordinates. Dimensions
 // are expected to be small (DB-LSH uses K ≈ 10–12).
+//
+// Traversal and visit order feed the candidate stream directly, so the
+// package is determinism-critical and patrolled by dblsh-lint's detorder
+// analyzer.
+//
+// dblsh:deterministic
 package rstar
 
 import "fmt"

@@ -57,6 +57,11 @@
 // copies one shard at a time. No goroutine ever holds two shard locks (a
 // parallel round holds several read locks concurrently, but each on its own
 // worker goroutine), so the lock graph is trivially acyclic.
+//
+// The locking discipline and the bit-identical-merge contract are enforced
+// by dblsh-lint (guardedby and detorder analyzers).
+//
+// dblsh:deterministic
 package shard
 
 import (
@@ -142,24 +147,26 @@ type state struct {
 	// while holding mu (compaction acquires mu only in short windows), so a
 	// waiting compaction never blocks traffic.
 	compactMu sync.Mutex
-	idx       *core.Index
-	seed      int64 // this shard's hash seed (base seed + shard offset)
+	idx       *core.Index // dblsh:guardedby mu
+	seed      int64       // this shard's hash seed (base seed + shard offset)
 
 	// globals maps local id → global id in append order. localOf is the
 	// reverse map, materialized lazily: while it is nil the mapping is the
 	// pure stripe local j ↔ global j·S+offset and lookups are arithmetic.
 	// The first out-of-order insert or compaction materializes the map.
-	globals []int
-	localOf map[int]int
-	offset  int // this shard's index in the set
+	globals []int       // dblsh:guardedby mu
+	localOf map[int]int // dblsh:guardedby mu
+	offset  int         // this shard's index in the set
 
 	compacting     atomic.Bool // single-flight guard for auto-compaction
-	compactions    int
-	lastCompaction time.Time
+	compactions    int         // dblsh:guardedby mu
+	lastCompaction time.Time   // dblsh:guardedby mu
 }
 
 // local returns the local id of global g, or -1 when g is not resident
 // (never routed here, or compacted away). Callers hold st.mu.
+//
+// dblsh:locked mu
 func (st *state) local(g, stride int) int {
 	if st.localOf != nil {
 		if l, ok := st.localOf[g]; ok {
@@ -176,6 +183,8 @@ func (st *state) local(g, stride int) int {
 
 // materialize builds the explicit reverse map. Callers hold st.mu for
 // writing.
+//
+// dblsh:locked mu
 func (st *state) materialize() {
 	if st.localOf != nil {
 		return
@@ -198,6 +207,9 @@ func shardSeed(base int64, i int) int64 { return base + int64(i) }
 // shard copies its stripe into a contiguous matrix. compactFrac > 0 enables
 // automatic background compaction of a shard once its tombstoned fraction
 // reaches the threshold.
+//
+// dblsh:exclusive the set is under construction and unpublished; the build
+// goroutines partition the shards, so no state is shared
 func Build(flat []float32, n, dim, shards int, compactFrac float64, cfg core.Config) *Set {
 	if n > 0 && shards > n {
 		shards = n // no empty shards when there is data to stripe
@@ -270,6 +282,9 @@ type Part struct {
 // Restore rebuilds a set from persisted per-shard parts. cfg carries the
 // stored structural parameters and base seed; nextID is the persisted
 // global-id-space bound (ids ≥ nextID have never been allocated).
+//
+// dblsh:exclusive the set is under construction and unpublished; the
+// restore goroutines partition the shards, so no state is shared
 func Restore(dim int, nextID int, compactFrac float64, cfg core.Config, parts []Part) *Set {
 	total := 0
 	for _, p := range parts {
@@ -810,6 +825,8 @@ func (s *Set) NewSearcher() *Searcher {
 
 // searcherFor returns the core searcher for shard i, rebinding it if a
 // compaction replaced the shard's index. Callers hold the shard's lock.
+//
+// dblsh:locked mu
 func (sr *Searcher) searcherFor(i int) *core.Searcher {
 	st := sr.set.shards[i]
 	if sr.seen[i] != st.idx {

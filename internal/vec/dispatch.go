@@ -38,6 +38,11 @@ type kernelImpl struct {
 	quantLB            func(u []float64, codes []int8) float64
 }
 
+// kernelTable is the only place kernel implementations are named: every
+// call routes through it so a runtime value can never pick a different
+// summation order mid-query.
+//
+// dblsh:dispatch
 var kernelTable = map[string]kernelImpl{
 	"scalar": {
 		name:               "scalar",
@@ -89,6 +94,7 @@ func KernelName() string { return activeKernel.name }
 // KernelNames lists the available kernel implementations, sorted.
 func KernelNames() []string {
 	names := make([]string, 0, len(kernelTable))
+	// dblsh:orderinvariant collected names are sorted below
 	for name := range kernelTable {
 		names = append(names, name)
 	}
@@ -98,6 +104,7 @@ func KernelNames() []string {
 
 // ---- scalar oracle implementations ----
 
+// dblsh:kernelimpl
 func dotScalar(a, b []float32) float64 {
 	var s float64
 	for i := range a {
@@ -106,6 +113,7 @@ func dotScalar(a, b []float32) float64 {
 	return s
 }
 
+// dblsh:kernelimpl
 func squaredDistScalar(a, b []float32) float64 {
 	var s float64
 	for i := range a {
@@ -115,6 +123,7 @@ func squaredDistScalar(a, b []float32) float64 {
 	return s
 }
 
+// dblsh:kernelimpl
 func squaredDistBoundedScalar(a, b []float32, bound float64) float64 {
 	var s float64
 	for i := range a {
@@ -132,6 +141,7 @@ func squaredDistBoundedScalar(a, b []float32, bound float64) float64 {
 
 // ---- wide (8×-unrolled) implementations ----
 
+// dblsh:kernelimpl
 func dotWide(a, b []float32) float64 {
 	if len(a) == 0 {
 		return 0
@@ -156,6 +166,7 @@ func dotWide(a, b []float32) float64 {
 	return s
 }
 
+// dblsh:kernelimpl
 func squaredDistWide(a, b []float32) float64 {
 	if len(a) == 0 {
 		return 0
@@ -189,6 +200,7 @@ func squaredDistWide(a, b []float32) float64 {
 	return s
 }
 
+// dblsh:kernelimpl
 func squaredDistBoundedWide(a, b []float32, bound float64) float64 {
 	if len(a) == 0 {
 		return 0

@@ -55,6 +55,10 @@ const abandonStride = 16
 // frozen at round entry while the sequential reference path tightens its
 // bound candidate by candidate, and the two must emit bit-identical
 // distances for every row both keep.
+//
+// dblsh:dispatch blessed blocked-sweep dispatch site: the pair/quad sweeps
+// engage on the kernel name (a startup-frozen value), never on the bound
+// or any other per-query runtime value
 func SquaredDistsToBounded(q []float32, m *Matrix, ids []int, bound float64, out []float64) {
 	_ = out[:len(ids)]
 	// Candidate rows are scattered, so each one starts with a cache miss;
@@ -95,6 +99,8 @@ func SquaredDistsToBounded(q []float32, m *Matrix, ids []int, bound float64, out
 // scattered rows' stride blocks are interleaved so their memory fetches
 // overlap. Each row's summation order and abandon checkpoints match the
 // single-row kernel exactly. Results for c and d land in cd[0] and cd[1].
+//
+// dblsh:kernelimpl
 func squaredDistBoundedQuad(q, a, b, cc, dd []float32, bound float64, cd []float64) (float64, float64) {
 	n := len(q)
 	_ = a[n-1]
@@ -214,6 +220,8 @@ func squaredDistBoundedQuad(q, a, b, cc, dd []float32, bound float64, cd []float
 // squaredDistBounded(q, b, bound) together, interleaving the two rows'
 // stride blocks so their memory fetches overlap. Each row's summation
 // order and abandon checkpoints match the single-row kernel exactly.
+//
+// dblsh:kernelimpl
 func squaredDistBoundedPair(q, a, b []float32, bound float64) (float64, float64) {
 	n := len(q)
 	_ = a[n-1]
@@ -280,6 +288,8 @@ func squaredDistBoundedPair(q, a, b []float32, bound float64) (float64, float64)
 
 // squaredDistBounded returns the squared distance between a and b, or +Inf
 // as soon as the running sum exceeds bound.
+//
+// dblsh:kernelimpl
 func squaredDistBounded(a, b []float32, bound float64) float64 {
 	if len(a) == 0 {
 		return 0

@@ -238,6 +238,8 @@ func (qm *QuantMatrix) accLimit(boundSq float64) float64 {
 // quantLBScalar is the reference asymmetric lower-bound kernel: the oracle
 // the dispatched variants are property-tested against. Per component it
 // accumulates max(0, |c−u| − unitGuard)².
+//
+// dblsh:kernelimpl
 func quantLBScalar(u []float64, codes []int8) float64 {
 	var acc float64
 	for i, ui := range u {
@@ -252,6 +254,8 @@ func quantLBScalar(u []float64, codes []int8) float64 {
 // quantLBWide is the 8×-unrolled int8-widening lower-bound kernel: eight
 // independent accumulator chains so the widening loads, the abs, and the
 // multiplies pipeline across iterations.
+//
+// dblsh:kernelimpl
 func quantLBWide(u []float64, codes []int8) float64 {
 	if len(u) == 0 {
 		return 0

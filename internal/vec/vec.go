@@ -5,6 +5,12 @@
 // All hot loops are written so the compiler can keep operands in registers;
 // distances are accumulated in float64 to avoid catastrophic cancellation on
 // high-dimensional data.
+//
+// The package is determinism-critical: candidate distances must be
+// bit-identical across runs for the sharded fan-out merge to agree with the
+// sequential reference path, so dblsh-lint's detorder analyzer patrols it.
+//
+// dblsh:deterministic
 package vec
 
 import (
@@ -21,6 +27,8 @@ func Dot(a, b []float32) float64 {
 }
 
 // dotUnrolled is the 4×-unrolled dot kernel, the dispatch default.
+//
+// dblsh:kernelimpl
 func dotUnrolled(a, b []float32) float64 {
 	if len(a) == 0 {
 		return 0
@@ -57,6 +65,8 @@ func SquaredDist(a, b []float32) float64 {
 
 // squaredDistUnrolled is the 4×-unrolled squared-distance kernel, the
 // dispatch default.
+//
+// dblsh:kernelimpl
 func squaredDistUnrolled(a, b []float32) float64 {
 	if len(a) == 0 {
 		return 0

@@ -250,11 +250,11 @@ type Metrics struct {
 // synchronized: callers serialize Append/Sync/Close (the durability layer
 // holds its log mutex across them).
 type Writer struct {
-	f      *os.File
-	buf    []byte
-	size   int64
-	dirty  bool // bytes written since the last Sync
-	failed bool // see ErrWriterFailed
+	f      *os.File // dblsh:guardedby caller
+	buf    []byte   // dblsh:guardedby caller
+	size   int64    // dblsh:guardedby caller
+	dirty  bool     // dblsh:guardedby caller — bytes written since the last Sync
+	failed bool     // dblsh:guardedby caller — see ErrWriterFailed
 
 	// M is set (before first use) by callers that want the segment's
 	// append/fsync activity reported.

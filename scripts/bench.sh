@@ -23,7 +23,7 @@
 # fraction plus the intra-query fan-out counters (parallel_rounds,
 # straggler_ns).
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 COUNT="${COUNT:-3}"
 OUT="${OUT:-BENCH_PR8.json}"
@@ -34,9 +34,25 @@ LOADGEN_JSON="$(mktemp)"
 BINDIR="$(mktemp -d)"
 DATADIR="$(mktemp -d)"
 SERVER_PID=""
+
+# stop_server: TERM the server, give it up to 5s to exit, then KILL it.
+# Every step tolerates an already-dead or never-started server — under
+# `set -e` a bare failing && chain inside the EXIT trap would abort the
+# handler before the temp dirs are removed.
+stop_server() {
+    [ -n "${SERVER_PID:-}" ] || return 0
+    kill "$SERVER_PID" 2>/dev/null || true
+    for _ in $(seq 1 50); do
+        kill -0 "$SERVER_PID" 2>/dev/null || break
+        sleep 0.1
+    done
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+}
 cleanup() {
-    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null
-    rm -rf "$TMP" "$BENCH_JSON" "$LOADGEN_JSON" "$BINDIR" "$DATADIR"
+    stop_server
+    rm -rf "$TMP" "$BENCH_JSON" "$LOADGEN_JSON" "$BINDIR" "$DATADIR" || true
 }
 trap cleanup EXIT
 
@@ -89,8 +105,7 @@ SERVER_PID=$!
     -duration "$LOADGEN_DURATION" -concurrency 4 -write-fraction 0.1 -k 10 \
     > "$LOADGEN_JSON"
 
-kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null || true
-SERVER_PID=""
+stop_server
 
 {
     printf '{\n  "benchmarks": '

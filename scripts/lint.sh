@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# lint.sh — build the dblsh-lint vet driver and run the repo's custom
+# go/analysis suite (guardedby, detorder, nilrecv, walerr) over every
+# package. Any diagnostic is a failure: the annotations in the tree are
+# load-bearing documentation, and this script is what keeps them honest.
+#
+#   scripts/lint.sh               # build bin/dblsh-lint and vet ./...
+#   BINDIR=out scripts/lint.sh    # put the driver binary elsewhere
+set -euo pipefail
+cd "$(dirname "$0")/.." || exit 1
+
+BINDIR="${BINDIR:-bin}"
+mkdir -p "$BINDIR"
+go build -o "$BINDIR/dblsh-lint" ./cmd/dblsh-lint
+
+# go vet resolves -vettool relative to each package directory, so hand it
+# an absolute path.
+go vet -vettool="$(pwd)/$BINDIR/dblsh-lint" ./...
+echo "dblsh-lint: clean"

@@ -8,7 +8,7 @@
 #
 # Designed to finish well under a minute on a CI runner.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 PORT="${PORT:-18081}"
 BINDIR="$(mktemp -d)"
@@ -16,9 +16,25 @@ DATADIR="$(mktemp -d)"
 SUMMARY="$(mktemp)"
 SCRAPE="$(mktemp)"
 SERVER_PID=""
+
+# stop_server: TERM the server, give it up to 5s to exit, then KILL it.
+# Every step tolerates an already-dead or never-started server — under
+# `set -e` a bare failing && chain inside the EXIT trap would abort the
+# handler before the temp dirs are removed.
+stop_server() {
+    [ -n "${SERVER_PID:-}" ] || return 0
+    kill "$SERVER_PID" 2>/dev/null || true
+    for _ in $(seq 1 50); do
+        kill -0 "$SERVER_PID" 2>/dev/null || break
+        sleep 0.1
+    done
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+}
 cleanup() {
-    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null
-    rm -rf "$BINDIR" "$DATADIR" "$SUMMARY" "$SCRAPE"
+    stop_server
+    rm -rf "$BINDIR" "$DATADIR" "$SUMMARY" "$SCRAPE" || true
 }
 trap cleanup EXIT
 

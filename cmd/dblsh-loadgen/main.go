@@ -14,12 +14,18 @@
 // latency over successful requests only — shed responses return in
 // microseconds and would flatter the percentiles.
 //
-// The vector dimension is discovered from GET /stats, retried for a few
-// seconds so the tool can be started alongside a server that is still
-// replaying its WAL:
+// The vector dimension — and, when the server reports them, the active
+// distance kernel, its selection source, and the server's CPU features —
+// are discovered from GET /stats, retried for a few seconds so the tool
+// can be started alongside a server that is still replaying its WAL:
 //
 //	dblsh-loadgen -addr http://localhost:8080 -duration 10s \
 //	    -concurrency 8 -write-fraction 0.1 -k 10
+//
+// With -cpuinfo the tool skips the workload entirely and prints the LOCAL
+// process's kernel selection and detected CPU features as JSON — the hook
+// scripts/bench.sh uses to stamp benchmark artifacts with the hardware
+// they ran on.
 package main
 
 import (
@@ -34,6 +40,9 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"dblsh/internal/vec"
+	"dblsh/internal/vec/cpu"
 )
 
 type config struct {
@@ -76,6 +85,20 @@ type summary struct {
 	// single-shard or sequentially-configured server.
 	ParallelRounds int   `json:"parallel_rounds"`
 	StragglerNs    int64 `json:"straggler_ns"`
+	// What /stats said the server was running: the active distance kernel,
+	// how it was selected (auto/env/forced), and the CPU features the
+	// server detected. Empty against servers predating the fields.
+	ServerKernel       string   `json:"server_kernel,omitempty"`
+	ServerKernelSource string   `json:"server_kernel_source,omitempty"`
+	ServerCPUFeatures  []string `json:"server_cpu_features,omitempty"`
+}
+
+// cpuinfo is the -cpuinfo report: the LOCAL process's kernel selection and
+// feature detection, same field names the server exposes in /stats.
+type cpuinfo struct {
+	Kernel       string   `json:"kernel"`
+	KernelSource string   `json:"kernel_source"`
+	CPUFeatures  []string `json:"cpu_features"`
 }
 
 func main() {
@@ -88,7 +111,22 @@ func main() {
 	flag.IntVar(&cfg.k, "k", 10, "neighbors requested per search")
 	flag.Int64Var(&cfg.seed, "seed", 1, "PRNG seed for the workload")
 	flag.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "per-request client timeout")
+	cpuinfoMode := flag.Bool("cpuinfo", false, "print this machine's kernel selection and CPU features as JSON and exit")
 	flag.Parse()
+
+	if *cpuinfoMode {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cpuinfo{
+			Kernel:       vec.KernelName(),
+			KernelSource: vec.KernelSource(),
+			CPUFeatures:  cpu.Detect().List(),
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "dblsh-loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sum, err := run(cfg)
 	if err != nil {
@@ -103,39 +141,49 @@ func main() {
 	}
 }
 
-// fetchDim asks GET /stats for the index dimension, retrying while the
-// server comes up (WAL replay can take a while on a large store).
-func fetchDim(client *http.Client, addr string, patience time.Duration) (int, error) {
+// serverStats is the slice of GET /stats the load generator cares about:
+// the index dimension (required — it shapes the workload) plus the
+// kernel/CPU fields newer servers report, echoed into the summary.
+type serverStats struct {
+	Dim          int      `json:"dim"`
+	Kernel       string   `json:"kernel"`
+	KernelSource string   `json:"kernel_source"`
+	CPUFeatures  []string `json:"cpu_features"`
+}
+
+// fetchStats asks GET /stats for the index dimension and kernel info,
+// retrying while the server comes up (WAL replay can take a while on a
+// large store). Only a missing or non-positive dim is an error; the kernel
+// fields are optional so older servers still work.
+func fetchStats(client *http.Client, addr string, patience time.Duration) (serverStats, error) {
 	deadline := time.Now().Add(patience)
 	var lastErr error
 	for {
-		st, err := func() (int, error) {
+		st, err := func() (serverStats, error) {
 			resp, err := client.Get(addr + "/stats")
 			if err != nil {
-				return 0, err
+				return serverStats{}, err
 			}
 			defer resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
 				io.Copy(io.Discard, resp.Body)
-				return 0, fmt.Errorf("/stats returned %s", resp.Status)
+				return serverStats{}, fmt.Errorf("/stats returned %s", resp.Status)
 			}
-			var stats struct {
-				Dim int `json:"dim"`
-			}
+			var stats serverStats
 			if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-				return 0, err
+				return serverStats{}, err
 			}
 			if stats.Dim <= 0 {
-				return 0, fmt.Errorf("/stats reported dim %d", stats.Dim)
+				return serverStats{}, fmt.Errorf("/stats reported dim %d", stats.Dim)
 			}
-			return stats.Dim, nil
+			return stats, nil
 		}()
 		if err == nil {
 			return st, nil
 		}
 		lastErr = err
 		if time.Now().After(deadline) {
-			return 0, fmt.Errorf("server at %s not ready: %w", addr, lastErr)
+			return serverStats{}, fmt.Errorf("server at %s not ready: %w", addr, lastErr)
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
@@ -159,10 +207,11 @@ func run(cfg config) (summary, error) {
 		return summary{}, fmt.Errorf("write-fraction must be in [0,1]")
 	}
 	client := &http.Client{Timeout: cfg.timeout}
-	dim, err := fetchDim(client, cfg.addr, 10*time.Second)
+	stats, err := fetchStats(client, cfg.addr, 10*time.Second)
 	if err != nil {
 		return summary{}, err
 	}
+	dim := stats.Dim
 
 	// The pacer hands out at most qps tokens per second, shared across
 	// workers. A nil channel (qps 0) never blocks reception via the
@@ -261,7 +310,13 @@ func run(cfg config) (summary, error) {
 	}
 
 	var all []time.Duration
-	sum := summary{Concurrency: cfg.concurrency, DurationSeconds: elapsed.Seconds()}
+	sum := summary{
+		Concurrency:        cfg.concurrency,
+		DurationSeconds:    elapsed.Seconds(),
+		ServerKernel:       stats.Kernel,
+		ServerKernelSource: stats.KernelSource,
+		ServerCPUFeatures:  stats.CPUFeatures,
+	}
 	for i := range results {
 		r := &results[i]
 		sum.Successes += r.successes

@@ -44,7 +44,12 @@ func TestRunAgainstStub(t *testing.T) {
 	var searches, adds, served atomic.Int64
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		json.NewEncoder(w).Encode(map[string]interface{}{"dim": 8})
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"dim":           8,
+			"kernel":        "avx2",
+			"kernel_source": "auto",
+			"cpu_features":  []string{"avx", "avx2", "fma"},
+		})
 	})
 	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
 		searches.Add(1)
@@ -108,6 +113,10 @@ func TestRunAgainstStub(t *testing.T) {
 	if int64(sum.Reads) != searches.Load() || int64(sum.Writes) != adds.Load() {
 		t.Fatalf("client tallies (%d reads, %d writes) disagree with server (%d, %d)",
 			sum.Reads, sum.Writes, searches.Load(), adds.Load())
+	}
+	if sum.ServerKernel != "avx2" || sum.ServerKernelSource != "auto" || len(sum.ServerCPUFeatures) != 3 {
+		t.Fatalf("stats kernel fields not echoed: kernel=%q source=%q features=%v",
+			sum.ServerKernel, sum.ServerKernelSource, sum.ServerCPUFeatures)
 	}
 }
 

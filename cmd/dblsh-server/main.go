@@ -103,6 +103,8 @@ import (
 
 	"dblsh"
 	"dblsh/internal/obs"
+	"dblsh/internal/vec"
+	"dblsh/internal/vec/cpu"
 )
 
 func main() {
@@ -120,6 +122,7 @@ func main() {
 		metricName  = flag.String("metric", "euclidean", "distance metric for the demo corpus: euclidean, cosine or ip (an -index file carries its own metric)")
 		quantize    = flag.String("quantize", "on", `int8 quantized verification pre-filter: "on" or "off" (results are identical either way; the flag is operational and applies to loaded indexes too)`)
 		parallelism = flag.Int("parallelism", 0, "shards a single query visits concurrently per ladder round: 0 picks min(GOMAXPROCS, shards) per query, 1 forces the sequential path (results are identical either way; operational, applies to loaded indexes too)")
+		kernel      = flag.String("kernel", "", "distance kernel by name (see /stats kernel_names); empty keeps the auto-detected (or DBLSH_KERNEL-selected) kernel. Unlike the env override, an unknown name here is fatal")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty disables)")
 
 		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently executing search/mutation requests (0 = unlimited)")
@@ -128,6 +131,20 @@ func main() {
 		slowQuery   = flag.Duration("slow-query-threshold", 0, "log requests at least this slow as JSON slow-log lines on stderr (0 disables)")
 	)
 	flag.Parse()
+
+	// Kernel selection happens before the index is built or any query runs:
+	// SetKernel must not race with traffic, and a mid-process change would
+	// break the dispatch table's startup-frozen contract. The flag fails
+	// fast — a typo in an operator-provided name should refuse to serve,
+	// unlike the DBLSH_KERNEL env override, which warns and keeps the
+	// auto-detected kernel so a stale environment cannot take a node down.
+	if *kernel != "" {
+		if err := vec.SetKernel(*kernel); err != nil {
+			log.Fatalf("dblsh-server: -kernel: %v", err)
+		}
+	}
+	log.Printf("distance kernel %s (%s; cpu features: %v)",
+		vec.KernelName(), vec.KernelSource(), cpu.Detect().List())
 
 	if *pprofAddr != "" {
 		go servePprof(*pprofAddr)

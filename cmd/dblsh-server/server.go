@@ -12,6 +12,8 @@ import (
 
 	"dblsh"
 	"dblsh/internal/obs"
+	"dblsh/internal/vec"
+	"dblsh/internal/vec/cpu"
 )
 
 // server routes HTTP requests straight into the index with no lock of its
@@ -147,7 +149,11 @@ type statsResponse struct {
 	C              float64          `json:"c"`
 	W0             float64          `json:"w0"`
 	Quantize       string           `json:"quantize"`
-	Parallelism    int              `json:"parallelism"` // effective per-query shard fan-out
+	Parallelism    int              `json:"parallelism"`   // effective per-query shard fan-out
+	Kernel         string           `json:"kernel"`        // active distance kernel
+	KernelSource   string           `json:"kernel_source"` // auto | env | forced
+	KernelNames    []string         `json:"kernel_names"`  // kernels this build/CPU registered
+	CPUFeatures    []string         `json:"cpu_features,omitempty"`
 	IndexSizeBytes int64            `json:"index_size_bytes"`
 	ShardCount     int              `json:"shard_count"`
 	Shards         []shardStatsJSON `json:"shards"`
@@ -176,18 +182,22 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	p := s.idx.Params()
 	resp := statsResponse{
-		Dim:         s.idx.Dim(),
-		Metric:      s.idx.Metric().String(),
-		NormBound:   p.NormBound,
-		K:           p.K,
-		L:           p.L,
-		T:           p.T,
-		C:           p.C,
-		W0:          p.W0,
-		Quantize:    p.Quantize,
-		Parallelism: s.idx.Parallelism(),
-		ShardCount:  s.idx.Shards(),
-		Durability:  durabilityStats(s.idx),
+		Dim:          s.idx.Dim(),
+		Metric:       s.idx.Metric().String(),
+		NormBound:    p.NormBound,
+		K:            p.K,
+		L:            p.L,
+		T:            p.T,
+		C:            p.C,
+		W0:           p.W0,
+		Quantize:     p.Quantize,
+		Parallelism:  s.idx.Parallelism(),
+		Kernel:       vec.KernelName(),
+		KernelSource: vec.KernelSource(),
+		KernelNames:  vec.KernelNames(),
+		CPUFeatures:  cpu.Detect().List(),
+		ShardCount:   s.idx.Shards(),
+		Durability:   durabilityStats(s.idx),
 	}
 	// Derive the totals from the same per-shard snapshot the response
 	// shows, so vectors/deleted always agree with the shard breakdown even

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"dblsh"
+	"dblsh/internal/vec"
 )
 
 func testIndex(t *testing.T) *dblsh.Index {
@@ -98,6 +99,26 @@ func TestStats(t *testing.T) {
 	}
 	if st.Metric != "euclidean" || st.NormBound != 0 {
 		t.Fatalf("metric stats %+v", st)
+	}
+	// The kernel echo must report the live dispatch state: the active
+	// kernel is one of the registered names and the provenance is one of
+	// the three documented sources.
+	if st.Kernel != vec.KernelName() {
+		t.Fatalf("stats kernel %q, active kernel %q", st.Kernel, vec.KernelName())
+	}
+	found := false
+	for _, n := range st.KernelNames {
+		if n == st.Kernel {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("active kernel %q not among registered %v", st.Kernel, st.KernelNames)
+	}
+	switch st.KernelSource {
+	case "auto", "env", "forced":
+	default:
+		t.Fatalf("kernel_source %q", st.KernelSource)
 	}
 }
 

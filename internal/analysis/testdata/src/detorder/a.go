@@ -132,3 +132,26 @@ func pickKernel(name string) func(a, b []float64) float64 {
 func distPair(a, b, c []float64) (float64, float64) {
 	return distSlow(a, b), distSlow(a, c)
 }
+
+// distAsm is the PR 10 shape: a bodyless declaration stub for an assembly
+// kernel, the annotation sharing one comment group with the compiler
+// directive. The analyzer must track it exactly like a Go-bodied kernel —
+// the FuncDecl's doc group carries the verb whether or not a body follows.
+//
+// dblsh:kernelimpl
+//
+//go:noescape
+func distAsm(a, b []float64) float64
+
+// registerArchRows is an annotated registration function — the dispatch
+// site that installs hardware rows at init. It may name the stub.
+//
+// dblsh:dispatch
+func registerArchRows() {
+	kernelTable["asm"] = distAsm
+}
+
+// callAsmDirectly bypasses the table: flagged exactly like a Go kernel.
+func callAsmDirectly(a, b []float64) float64 {
+	return distAsm(a, b) // want `reference to kernel implementation distAsm outside a dblsh:dispatch site`
+}

@@ -1,0 +1,54 @@
+package cpu
+
+// cpuid executes the CPUID instruction for (leaf, subleaf) and returns
+// EAX/EBX/ECX/EDX. Implemented in cpu_amd64.s.
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0), which records the
+// register state the OS saves on context switch. Only valid when CPUID
+// reports OSXSAVE. Implemented in cpu_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+const (
+	// CPUID leaf 1 ECX bits.
+	bitFMA     = 1 << 12
+	bitOSXSAVE = 1 << 27
+	bitAVX     = 1 << 28
+	// CPUID leaf 7 subleaf 0 EBX bits.
+	bitAVX2    = 1 << 5
+	bitAVX512F = 1 << 16
+	// XCR0 state-component bits.
+	xcr0SSE    = 1 << 1
+	xcr0AVX    = 1 << 2
+	xcr0OpMask = 1 << 5
+	xcr0ZMMHi  = 1 << 6
+	xcr0HiZMM  = 1 << 7
+)
+
+func detect() Features {
+	var f Features
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return f
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	// Without OSXSAVE the OS does not save YMM state, so AVX registers
+	// would be silently corrupted across context switches: report nothing.
+	if ecx1&bitOSXSAVE == 0 {
+		return f
+	}
+	xcr0, _ := xgetbv()
+	osAVX := xcr0&(xcr0SSE|xcr0AVX) == xcr0SSE|xcr0AVX
+	if !osAVX {
+		return f
+	}
+	f.AVX = ecx1&bitAVX != 0
+	f.FMA = ecx1&bitFMA != 0
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		f.AVX2 = f.AVX && ebx7&bitAVX2 != 0
+		osZMM := xcr0&(xcr0OpMask|xcr0ZMMHi|xcr0HiZMM) == xcr0OpMask|xcr0ZMMHi|xcr0HiZMM
+		f.AVX512F = f.AVX && osZMM && ebx7&bitAVX512F != 0
+	}
+	return f
+}

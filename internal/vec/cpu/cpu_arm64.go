@@ -1,0 +1,8 @@
+package cpu
+
+// Advanced SIMD (NEON) and the FP unit are mandatory in the ARMv8-A
+// baseline every Go arm64 target assumes, so there is nothing to probe:
+// the neon kernel is always usable.
+func detect() Features {
+	return Features{ASIMD: true}
+}

@@ -11,23 +11,34 @@ import (
 //
 // The exported hot entry points (Dot, SquaredDist, the bounded sweeps and
 // the quantized pre-filter) route through a process-wide kernel table so
-// the implementation can be selected at startup — by the DBLSH_KERNEL
-// environment variable — or explicitly by SetKernel in tests and
-// benchmarks. Three implementations exist:
+// the implementation can be selected at startup — automatically from the
+// detected CPU features, overridden by the DBLSH_KERNEL environment
+// variable — or explicitly by SetKernel in tests, benchmarks and the
+// server's -kernel flag. The portable rows are always present:
 //
 //	scalar    straight loops; the oracle every other variant is
 //	          property-tested and fuzzed against
 //	unrolled  4×-unrolled with four independent float64 accumulator
-//	          chains (the default; the PR 3 kernels)
+//	          chains (the portable default; the PR 3 kernels)
 //	wide      8×-unrolled with eight chains, plus the 8×-widening int8
 //	          path — written so the eight independent lanes pipeline on
 //	          machines with enough FP ports, at identical memory traffic
 //
-// The variants differ in floating-point summation order, so their results
-// may differ in the last ulps; each is internally deterministic, and all
-// quantized lower bounds remain certain lower bounds under every variant.
-// SetKernel must not race with running queries: select the kernel before
-// serving traffic.
+// registerArchKernels (one per GOARCH) adds hardware rows when the running
+// CPU supports them:
+//
+//	avx2      amd64 assembly: VCVTPS2PD widening + VFMADD231PD into four
+//	          256-bit float64 accumulator chains; requires AVX2+FMA with
+//	          OS-saved YMM state (internal/vec/cpu)
+//	neon      arm64 assembly: Advanced SIMD, always available on arm64
+//
+// Selection priority is SetKernel (flag/forced) > DBLSH_KERNEL (env) >
+// auto-detect; KernelSource reports which one decided. The variants differ
+// in floating-point summation order, so their results may differ in the
+// last ulps; each is internally deterministic, and all quantized lower
+// bounds remain certain lower bounds under every variant. SetKernel must
+// not race with running queries: select the kernel before serving
+// traffic.
 
 // kernelImpl bundles one implementation of every dispatched primitive.
 type kernelImpl struct {
@@ -69,27 +80,56 @@ var kernelTable = map[string]kernelImpl{
 
 var activeKernel = kernelTable["unrolled"]
 
+// archKernel names the best hardware kernel registerArchKernels added for
+// this CPU, or "" when only the portable rows exist. Auto-selection prefers
+// it over the portable default.
+var archKernel string
+
+// kernelSource records how the active kernel was chosen: "auto" (CPU
+// feature detection, or the portable default), "env" (DBLSH_KERNEL) or
+// "forced" (SetKernel — the server's -kernel flag, tests, benchmarks).
+var kernelSource = "auto"
+
 func init() {
+	// Order matters: the arch rows must exist before auto-selection and
+	// before a DBLSH_KERNEL value can name them. A per-file init in the
+	// _amd64/_arm64 files would sort AFTER this one, so registration is an
+	// explicit call instead.
+	registerArchKernels()
+	if archKernel != "" {
+		activeKernel = kernelTable[archKernel]
+	}
 	if name := os.Getenv("DBLSH_KERNEL"); name != "" {
 		if err := SetKernel(name); err != nil {
-			fmt.Fprintf(os.Stderr, "dblsh: ignoring DBLSH_KERNEL: %v\n", err)
+			fmt.Fprintf(os.Stderr, "dblsh: ignoring DBLSH_KERNEL, keeping %q: %v\n", KernelName(), err)
+		} else {
+			kernelSource = "env"
 		}
 	}
 }
 
-// SetKernel selects the active kernel implementation by name ("scalar",
-// "unrolled" or "wide"). Not safe to call concurrently with queries.
+// SetKernel selects the active kernel implementation by name (see
+// KernelNames for what this build/CPU registered). Not safe to call
+// concurrently with queries.
 func SetKernel(name string) error {
 	impl, ok := kernelTable[name]
 	if !ok {
 		return fmt.Errorf("vec: unknown kernel %q (have %v)", name, KernelNames())
 	}
 	activeKernel = impl
+	kernelSource = "forced"
 	return nil
 }
 
 // KernelName returns the active kernel implementation's name.
 func KernelName() string { return activeKernel.name }
+
+// KernelSource reports how the active kernel was selected: "auto"
+// (CPU-feature detection or the portable default), "env" (DBLSH_KERNEL
+// environment override) or "forced" (an explicit SetKernel call, e.g. the
+// server's -kernel flag). Lets operators distinguish "avx2 (auto)" from
+// "scalar (forced)" in /stats and benchmark records.
+func KernelSource() string { return kernelSource }
 
 // KernelNames lists the available kernel implementations, sorted.
 func KernelNames() []string {

@@ -1,0 +1,64 @@
+package vec
+
+import "dblsh/internal/vec/cpu"
+
+// Declarations for the hand-written AVX2/FMA kernels in
+// dist_avx2_amd64.s. Slice arguments must have len(b) >= len(a) (resp.
+// len(codes) >= len(u)): like the pure-Go kernels the asm only reads
+// len(a) components, but unlike them it does not bounds-check, so the
+// caller contract enforced at the public entry points is load-bearing.
+
+// dotAVX2 is the assembly dot kernel: float32 lanes are widened to
+// float64 before multiplication and fused into four 256-bit accumulator
+// chains (16 floats per iteration), reduced in a fixed tree.
+// dblsh:kernelimpl
+//
+//go:noescape
+func dotAVX2(a, b []float32) float64
+
+// squaredDistAVX2 is the assembly squared-Euclidean kernel. Differences
+// are taken after widening to float64 (exact), then fused-squared into
+// four accumulator chains.
+// dblsh:kernelimpl
+//
+//go:noescape
+func squaredDistAVX2(a, b []float32) float64
+
+// squaredDistBoundedAVX2 is the early-abandon variant: the running total
+// is reduced and tested against bound once per 16-component stripe. The
+// accumulators never depend on the bound, so a surviving row's value is
+// bit-identical under every bound (the PR 8 bound-independence property).
+// dblsh:kernelimpl
+//
+//go:noescape
+func squaredDistBoundedAVX2(a, b []float32, bound float64) float64
+
+// quantLBAVX2 is the int8 quantized-lower-bound kernel: VPMOVSXBD code
+// widening, float64 max(0, |code−u|−unitGuard)² accumulation in eight
+// chains. The guard constant is duplicated in the .s file as float64 bits
+// and must track unitGuard in quant.go.
+// dblsh:kernelimpl
+//
+//go:noescape
+func quantLBAVX2(u []float64, codes []int8) float64
+
+// registerArchKernels adds the hardware kernel rows this build can run.
+// On amd64 the avx2 row requires AVX2 and FMA with OS-saved YMM state;
+// without them the table keeps only the portable rows and auto-selection
+// stays on the pure-Go default.
+//
+// dblsh:dispatch
+func registerArchKernels() {
+	f := cpu.Detect()
+	if !f.AVX2 || !f.FMA {
+		return
+	}
+	kernelTable["avx2"] = kernelImpl{
+		name:               "avx2",
+		dot:                dotAVX2,
+		squaredDist:        squaredDistAVX2,
+		squaredDistBounded: squaredDistBoundedAVX2,
+		quantLB:            quantLBAVX2,
+	}
+	archKernel = "avx2"
+}

@@ -1,0 +1,10 @@
+//go:build !amd64 && !arm64
+
+package vec
+
+// registerArchKernels is a no-op on architectures without hand-written
+// kernels: the dispatch table keeps its portable rows and auto-selection
+// stays on the pure-Go default.
+//
+// dblsh:dispatch
+func registerArchKernels() {}

@@ -1,0 +1,227 @@
+// NEON (Advanced SIMD) distance kernels — the "neon" row of the dispatch
+// table. Mandatory in the ARMv8-A baseline, so registration never fails on
+// arm64.
+//
+// Structure mirrors the avx2 kernels: float32 lanes are widened to float64
+// (FCVTL/FCVTL2) and fused into four 2-lane float64 accumulator chains
+// (VFMLA), reduced at the end in a fixed tree ((acc0+acc1)+(acc2+acc3),
+// then lane0+lane1), then the unfused scalar tail in index order. The
+// order depends only on len, never on data or bounds, so each kernel is
+// internally deterministic and a surviving bounded row is
+// bound-independent.
+//
+// Like the pure-Go kernels (and unlike avx2), squared-distance differences
+// are taken in float32 (FSUB.4S / FSUBS) before widening.
+//
+// squaredDistNEON and squaredDistBoundedNEON share the exact same
+// accumulation structure — 16-component stripes, the same reduction tree,
+// the same scalar tail — so a surviving bounded row is bit-identical to
+// the unbounded squared distance at every length (the ladder's
+// verified-neighbor equality relies on this; keep them in lockstep).
+//
+// Go's arm64 assembler has no mnemonics for FCVTL/FCVTL2, vector FSUB.4S
+// or vector FADD.2D, so those are WORD-encoded with fixed registers; each
+// carries its decoded form in a comment and the cross-build objdump in CI
+// keeps the encodings honest.
+
+#include "textflag.h"
+
+// func dotNEON(a, b []float32) float64
+TEXT ·dotNEON(SB), NOSPLIT, $0-56
+	MOVD a_base+0(FP), R0
+	MOVD b_base+24(FP), R1
+	MOVD a_len+8(FP), R2
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	CMP  $8, R2
+	BLT  dotreduce
+dot8:
+	VLD1.P 16(R0), [V4.S4]
+	VLD1.P 16(R1), [V5.S4]
+	WORD $0x0E617890 // FCVTL  V16.2D, V4.2S
+	WORD $0x4E617891 // FCVTL2 V17.2D, V4.4S
+	WORD $0x0E6178B2 // FCVTL  V18.2D, V5.2S
+	WORD $0x4E6178B3 // FCVTL2 V19.2D, V5.4S
+	VFMLA V18.D2, V16.D2, V0.D2
+	VFMLA V19.D2, V17.D2, V1.D2
+	VLD1.P 16(R0), [V6.S4]
+	VLD1.P 16(R1), [V7.S4]
+	WORD $0x0E6178D4 // FCVTL  V20.2D, V6.2S
+	WORD $0x4E6178D5 // FCVTL2 V21.2D, V6.4S
+	WORD $0x0E6178F6 // FCVTL  V22.2D, V7.2S
+	WORD $0x4E6178F7 // FCVTL2 V23.2D, V7.4S
+	VFMLA V22.D2, V20.D2, V2.D2
+	VFMLA V23.D2, V21.D2, V3.D2
+	SUB  $8, R2
+	CMP  $8, R2
+	BGE  dot8
+dotreduce:
+	WORD $0x4E61D400 // FADD V0.2D, V0.2D, V1.2D
+	WORD $0x4E63D442 // FADD V2.2D, V2.2D, V3.2D
+	WORD $0x4E62D400 // FADD V0.2D, V0.2D, V2.2D
+	VMOV  V0.D[1], V4.D[0]
+	FADDD F4, F0, F10
+dottail:
+	CBZ   R2, dotdone
+	FMOVS (R0), F4
+	FMOVS (R1), F5
+	FCVTSD F4, F4
+	FCVTSD F5, F5
+	FMULD F5, F4, F4
+	FADDD F4, F10, F10
+	ADD   $4, R0
+	ADD   $4, R1
+	SUB   $1, R2
+	B     dottail
+dotdone:
+	FMOVD F10, ret+48(FP)
+	RET
+
+// func squaredDistNEON(a, b []float32) float64
+TEXT ·squaredDistNEON(SB), NOSPLIT, $0-56
+	MOVD a_base+0(FP), R0
+	MOVD b_base+24(FP), R1
+	MOVD a_len+8(FP), R2
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	CMP  $16, R2
+	BLT  sqreduce
+sq16:
+	VLD1.P 16(R0), [V4.S4]
+	VLD1.P 16(R1), [V5.S4]
+	WORD $0x4EA5D484 // FSUB V4.4S, V4.4S, V5.4S
+	WORD $0x0E617890 // FCVTL  V16.2D, V4.2S
+	WORD $0x4E617891 // FCVTL2 V17.2D, V4.4S
+	VFMLA V16.D2, V16.D2, V0.D2
+	VFMLA V17.D2, V17.D2, V1.D2
+	VLD1.P 16(R0), [V6.S4]
+	VLD1.P 16(R1), [V7.S4]
+	WORD $0x4EA7D4C6 // FSUB V6.4S, V6.4S, V7.4S
+	WORD $0x0E6178D4 // FCVTL  V20.2D, V6.2S
+	WORD $0x4E6178D5 // FCVTL2 V21.2D, V6.4S
+	VFMLA V20.D2, V20.D2, V2.D2
+	VFMLA V21.D2, V21.D2, V3.D2
+	VLD1.P 16(R0), [V4.S4]
+	VLD1.P 16(R1), [V5.S4]
+	WORD $0x4EA5D484 // FSUB V4.4S, V4.4S, V5.4S
+	WORD $0x0E617890 // FCVTL  V16.2D, V4.2S
+	WORD $0x4E617891 // FCVTL2 V17.2D, V4.4S
+	VFMLA V16.D2, V16.D2, V0.D2
+	VFMLA V17.D2, V17.D2, V1.D2
+	VLD1.P 16(R0), [V6.S4]
+	VLD1.P 16(R1), [V7.S4]
+	WORD $0x4EA7D4C6 // FSUB V6.4S, V6.4S, V7.4S
+	WORD $0x0E6178D4 // FCVTL  V20.2D, V6.2S
+	WORD $0x4E6178D5 // FCVTL2 V21.2D, V6.4S
+	VFMLA V20.D2, V20.D2, V2.D2
+	VFMLA V21.D2, V21.D2, V3.D2
+	SUB  $16, R2
+	CMP  $16, R2
+	BGE  sq16
+sqreduce:
+	WORD $0x4E61D400 // FADD V0.2D, V0.2D, V1.2D
+	WORD $0x4E63D442 // FADD V2.2D, V2.2D, V3.2D
+	WORD $0x4E62D400 // FADD V0.2D, V0.2D, V2.2D
+	VMOV  V0.D[1], V4.D[0]
+	FADDD F4, F0, F10
+sqtail:
+	CBZ   R2, sqdone
+	FMOVS (R0), F4
+	FMOVS (R1), F5
+	FSUBS F5, F4, F4
+	FCVTSD F4, F4
+	FMULD F4, F4, F4
+	FADDD F4, F10, F10
+	ADD   $4, R0
+	ADD   $4, R1
+	SUB   $1, R2
+	B     sqtail
+sqdone:
+	FMOVD F10, ret+48(FP)
+	RET
+
+// func squaredDistBoundedNEON(a, b []float32, bound float64) float64
+//
+// Early abandon is tested once per 16-component stripe: the accumulators
+// are reduced into scratch registers and the running total compared
+// against bound. The accumulators themselves never depend on the bound,
+// so abandoning is the bound's only effect.
+TEXT ·squaredDistBoundedNEON(SB), NOSPLIT, $0-64
+	MOVD  a_base+0(FP), R0
+	MOVD  b_base+24(FP), R1
+	MOVD  a_len+8(FP), R2
+	FMOVD bound+48(FP), F15
+	VEOR  V0.B16, V0.B16, V0.B16
+	VEOR  V1.B16, V1.B16, V1.B16
+	VEOR  V2.B16, V2.B16, V2.B16
+	VEOR  V3.B16, V3.B16, V3.B16
+	FMOVD ZR, F12
+	CMP   $16, R2
+	BLT   bdtail
+bdstripe:
+	VLD1.P 16(R0), [V4.S4]
+	VLD1.P 16(R1), [V5.S4]
+	WORD $0x4EA5D484 // FSUB V4.4S, V4.4S, V5.4S
+	WORD $0x0E617890 // FCVTL  V16.2D, V4.2S
+	WORD $0x4E617891 // FCVTL2 V17.2D, V4.4S
+	VFMLA V16.D2, V16.D2, V0.D2
+	VFMLA V17.D2, V17.D2, V1.D2
+	VLD1.P 16(R0), [V6.S4]
+	VLD1.P 16(R1), [V7.S4]
+	WORD $0x4EA7D4C6 // FSUB V6.4S, V6.4S, V7.4S
+	WORD $0x0E6178D4 // FCVTL  V20.2D, V6.2S
+	WORD $0x4E6178D5 // FCVTL2 V21.2D, V6.4S
+	VFMLA V20.D2, V20.D2, V2.D2
+	VFMLA V21.D2, V21.D2, V3.D2
+	VLD1.P 16(R0), [V4.S4]
+	VLD1.P 16(R1), [V5.S4]
+	WORD $0x4EA5D484 // FSUB V4.4S, V4.4S, V5.4S
+	WORD $0x0E617890 // FCVTL  V16.2D, V4.2S
+	WORD $0x4E617891 // FCVTL2 V17.2D, V4.4S
+	VFMLA V16.D2, V16.D2, V0.D2
+	VFMLA V17.D2, V17.D2, V1.D2
+	VLD1.P 16(R0), [V6.S4]
+	VLD1.P 16(R1), [V7.S4]
+	WORD $0x4EA7D4C6 // FSUB V6.4S, V6.4S, V7.4S
+	WORD $0x0E6178D4 // FCVTL  V20.2D, V6.2S
+	WORD $0x4E6178D5 // FCVTL2 V21.2D, V6.4S
+	VFMLA V20.D2, V20.D2, V2.D2
+	VFMLA V21.D2, V21.D2, V3.D2
+	SUB  $16, R2
+
+	// Running total = reduce(acc0..acc3) into scratch; abandon if > bound.
+	WORD $0x4E61D410 // FADD V16.2D, V0.2D, V1.2D
+	WORD $0x4E63D451 // FADD V17.2D, V2.2D, V3.2D
+	WORD $0x4E71D610 // FADD V16.2D, V16.2D, V17.2D
+	VMOV  V16.D[1], V18.D[0]
+	FADDD F18, F16, F12
+	FCMPD F15, F12
+	BGT   bdabandon
+
+	CMP  $16, R2
+	BGE  bdstripe
+bdtail:
+	CBZ   R2, bdfinal
+	FMOVS (R0), F4
+	FMOVS (R1), F5
+	FSUBS F5, F4, F4
+	FCVTSD F4, F4
+	FMULD F4, F4, F4
+	FADDD F4, F12, F12
+	ADD   $4, R0
+	ADD   $4, R1
+	SUB   $1, R2
+	B     bdtail
+bdfinal:
+	FCMPD F15, F12
+	BGT   bdabandon
+	FMOVD F12, ret+56(FP)
+	RET
+bdabandon:
+	MOVD $0x7FF0000000000000, R3 // +Inf
+	MOVD R3, ret+56(FP)
+	RET

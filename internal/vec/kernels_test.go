@@ -47,11 +47,22 @@ func TestZeroLengthKernels(t *testing.T) {
 	}
 }
 
-// TestKernelsMatchScalar is the property test for the unrolled and blocked
-// kernels: across dims 1..64 — odd dims, non-multiple-of-4 dims, and dims
-// around the early-abandon stride — every kernel must agree with the scalar
+// TestKernelsMatchScalar is the property test for the dispatched and
+// blocked kernels: across every registered kernel row (hardware rows
+// included) and dims 1..64 — odd dims, non-multiple-of-4 dims, and dims
+// around the early-abandon stride — every path must agree with the scalar
 // reference within 1e-6.
 func TestKernelsMatchScalar(t *testing.T) {
+	defer SetKernel(KernelName())
+	for _, name := range KernelNames() {
+		if err := SetKernel(name); err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, testKernelsMatchScalar)
+	}
+}
+
+func testKernelsMatchScalar(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	// Differences are taken in float32 (the data's own precision), so the
 	// comparison tolerance is relative.
@@ -156,8 +167,9 @@ func medianOf(xs []float64) float64 {
 	return best
 }
 
-// FuzzDistsTo drives the batch kernel with arbitrary shapes and payloads and
-// cross-checks every lane against the scalar reference.
+// FuzzDistsTo drives the batch kernel with arbitrary shapes and payloads
+// and cross-checks every lane against the scalar reference, under every
+// registered kernel row (hardware rows included).
 func FuzzDistsTo(f *testing.F) {
 	f.Add(uint8(4), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
 	f.Add(uint8(1), []byte{0})
@@ -182,20 +194,26 @@ func FuzzDistsTo(f *testing.F) {
 			ids[i] = rows - 1 - i
 		}
 		out := make([]float64, rows)
-		DistsTo(q, m, ids, out)
 		bounded := make([]float64, rows)
-		SquaredDistsToBounded(q, m, ids, 1.5, bounded)
-		for i, id := range ids {
-			want := math.Sqrt(scalarSquaredDist(q, m.Row(id)))
-			if math.Abs(out[i]-want) > 1e-5*(1+want) {
-				t.Fatalf("DistsTo[%d] = %v, scalar = %v", i, out[i], want)
+		defer SetKernel(KernelName())
+		for _, name := range KernelNames() {
+			if err := SetKernel(name); err != nil {
+				t.Fatal(err)
 			}
-			sq := scalarSquaredDist(q, m.Row(id))
-			if sq <= 1.5-1e-5 && math.Abs(bounded[i]-sq) > 1e-5*(1+sq) {
-				t.Fatalf("bounded[%d] = %v, scalar = %v", i, bounded[i], sq)
-			}
-			if sq > 1.5+1e-5 && bounded[i] <= 1.5-1e-5 {
-				t.Fatalf("bounded[%d] = %v under bound, scalar %v above it", i, bounded[i], sq)
+			DistsTo(q, m, ids, out)
+			SquaredDistsToBounded(q, m, ids, 1.5, bounded)
+			for i, id := range ids {
+				want := math.Sqrt(scalarSquaredDist(q, m.Row(id)))
+				if math.Abs(out[i]-want) > 1e-5*(1+want) {
+					t.Fatalf("kernel %s: DistsTo[%d] = %v, scalar = %v", name, i, out[i], want)
+				}
+				sq := scalarSquaredDist(q, m.Row(id))
+				if sq <= 1.5-1e-5 && math.Abs(bounded[i]-sq) > 1e-5*(1+sq) {
+					t.Fatalf("kernel %s: bounded[%d] = %v, scalar = %v", name, i, bounded[i], sq)
+				}
+				if sq > 1.5+1e-5 && bounded[i] <= 1.5-1e-5 {
+					t.Fatalf("kernel %s: bounded[%d] = %v under bound, scalar %v above it", name, i, bounded[i], sq)
+				}
 			}
 		}
 	})
@@ -236,27 +254,43 @@ func BenchmarkDistKernels(b *testing.B) {
 			}
 		}
 	})
-	b.Run("unrolled-per-row", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			for j, id := range ids {
-				out[j] = SquaredDist(q, m.Row(id))
+	// Per-kernel rows: dot and squared-dist on one cache-hot pair (pure
+	// kernel throughput), plus the gathered blocked and bounded sweeps
+	// (what verification actually runs, memory effects included).
+	exact := make([]float64, block)
+	SquaredDistsTo(q, m, ids, exact)
+	// A tight bound ~ the 10th percentile: most rows abandon early, the
+	// shape of a warmed-up top-k verification.
+	bound := medianOf(exact) / 2
+	hot := m.Row(ids[0])
+	defer SetKernel(KernelName())
+	for _, name := range KernelNames() {
+		if err := SetKernel(name); err != nil {
+			b.Fatal(err)
+		}
+		// No trailing -<number> in sub-benchmark names: scripts/bench.sh
+		// strips one such suffix (the GOMAXPROCS tag Go appends when
+		// GOMAXPROCS > 1), so a "-128" here would survive on some machines
+		// and vanish on others. Both pairs are dim 128.
+		b.Run(name+"/dot", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out[0] = Dot(q, hot)
 			}
-		}
-	})
-	b.Run("blocked", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			SquaredDistsTo(q, m, ids, out)
-		}
-	})
-	b.Run("blocked-bounded", func(b *testing.B) {
-		// A tight bound ~ the 10th percentile: most rows abandon early, the
-		// shape of a warmed-up top-k verification.
-		exact := make([]float64, block)
-		SquaredDistsTo(q, m, ids, exact)
-		bound := medianOf(exact) / 2
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			SquaredDistsToBounded(q, m, ids, bound, out)
-		}
-	})
+		})
+		b.Run(name+"/squared-dist", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out[0] = SquaredDist(q, hot)
+			}
+		})
+		b.Run(name+"/blocked", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SquaredDistsTo(q, m, ids, out)
+			}
+		})
+		b.Run(name+"/blocked-bounded", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SquaredDistsToBounded(q, m, ids, bound, out)
+			}
+		})
+	}
 }

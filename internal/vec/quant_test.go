@@ -74,8 +74,8 @@ func TestQuantDequantError(t *testing.T) {
 	}
 }
 
-// TestQuantKernelsMatchScalar property-tests the dispatched lower-bound
-// kernels against the scalar oracle across awkward dims.
+// TestQuantKernelsMatchScalar property-tests every registered row's
+// lower-bound kernel against the scalar oracle across awkward dims.
 func TestQuantKernelsMatchScalar(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	for dim := 1; dim <= 40; dim++ {
@@ -87,9 +87,11 @@ func TestQuantKernelsMatchScalar(t *testing.T) {
 				codes[j] = int8(rng.Intn(255) - 127)
 			}
 			want := quantLBScalar(u, codes)
-			got := quantLBWide(u, codes)
-			if math.Abs(got-want) > 1e-9*(1+want) {
-				t.Fatalf("dim %d: quantLBWide = %v, scalar = %v", dim, got, want)
+			for name, impl := range kernelTable {
+				got := impl.quantLB(u, codes)
+				if math.Abs(got-want) > 1e-9*(1+want) {
+					t.Fatalf("dim %d kernel %s: quantLB = %v, scalar = %v", dim, name, got, want)
+				}
 			}
 		}
 	}
@@ -276,21 +278,27 @@ func BenchmarkQuantKernels(b *testing.B) {
 	SquaredDistsTo(q, m, ids, exact)
 	bound := medianOf(exact) / 2
 
-	b.Run("quantized-lb", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			for j, id := range ids {
-				out[j] = qm.LowerBoundSq(u, id)
+	defer SetKernel(KernelName())
+	for _, name := range KernelNames() {
+		if err := SetKernel(name); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/quantized-lb", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j, id := range ids {
+					out[j] = qm.LowerBoundSq(u, id)
+				}
 			}
-		}
-	})
-	b.Run("quantized-prefilter", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			SquaredDistsToBoundedQuant(q, u, m, qm, ids, bound, out)
-		}
-	})
-	b.Run("bounded-no-prefilter", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			SquaredDistsToBounded(q, m, ids, bound, out)
-		}
-	})
+		})
+		b.Run(name+"/quantized-prefilter", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SquaredDistsToBoundedQuant(q, u, m, qm, ids, bound, out)
+			}
+		})
+		b.Run(name+"/bounded-no-prefilter", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SquaredDistsToBounded(q, m, ids, bound, out)
+			}
+		})
+	}
 }

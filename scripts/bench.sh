@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # bench.sh — run the query-path benchmark suite plus a short end-to-end
-# loadgen run, and emit BENCH_PR8.json:
+# loadgen run, and emit BENCH_PR10.json:
 #
 #   {
-#     "benchmarks": { name -> {ns_per_op, allocs_per_op} },
-#     "loadgen":    { qps, latency percentiles, success/shed/error tallies }
+#     "environment": { kernel, kernel_source, cpu_features },
+#     "benchmarks":  { name -> {ns_per_op, allocs_per_op} },
+#     "loadgen":     { qps, latency percentiles, success/shed/error tallies }
 #   }
 #
 #   COUNT=5 scripts/bench.sh              # -count per benchmark (default 3)
-#   OUT=out.json scripts/bench.sh         # output path (default BENCH_PR8.json)
+#   OUT=out.json scripts/bench.sh         # output path (default BENCH_PR10.json)
 #   LOADGEN_DURATION=5s scripts/bench.sh  # loadgen run length (default 2s)
 #
 # The benchmark half covers the Table 4 headline query benchmark, the
@@ -21,16 +22,19 @@
 # recorded numbers include HTTP, admission and WAL overhead, not just the
 # in-process query path, and the summary carries the observed quant_pruned
 # fraction plus the intra-query fan-out counters (parallel_rounds,
-# straggler_ns).
+# straggler_ns). The environment block (dblsh-loadgen -cpuinfo) records the
+# auto-selected distance kernel and detected CPU features, so per-kernel
+# benchmark rows can be read against the hardware that produced them.
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
 COUNT="${COUNT:-3}"
-OUT="${OUT:-BENCH_PR8.json}"
+OUT="${OUT:-BENCH_PR10.json}"
 LOADGEN_DURATION="${LOADGEN_DURATION:-2s}"
 TMP="$(mktemp)"
 BENCH_JSON="$(mktemp)"
 LOADGEN_JSON="$(mktemp)"
+ENV_JSON="$(mktemp)"
 BINDIR="$(mktemp -d)"
 DATADIR="$(mktemp -d)"
 SERVER_PID=""
@@ -52,7 +56,7 @@ stop_server() {
 }
 cleanup() {
     stop_server
-    rm -rf "$TMP" "$BENCH_JSON" "$LOADGEN_JSON" "$BINDIR" "$DATADIR" || true
+    rm -rf "$TMP" "$BENCH_JSON" "$LOADGEN_JSON" "$ENV_JSON" "$BINDIR" "$DATADIR" || true
 }
 trap cleanup EXIT
 
@@ -91,6 +95,9 @@ echo "building server + loadgen..."
 go build -o "$BINDIR/dblsh-server" ./cmd/dblsh-server
 go build -o "$BINDIR/dblsh-loadgen" ./cmd/dblsh-loadgen
 
+# Stamp the artifact with the kernel/CPU the benchmarks actually ran under.
+"$BINDIR/dblsh-loadgen" -cpuinfo > "$ENV_JSON"
+
 PORT="${PORT:-18080}"
 # -parallelism 8 forces the per-round fan-out even where the auto policy
 # would pick 1 (single-core CI runners), so the recorded parallel_rounds /
@@ -108,7 +115,9 @@ SERVER_PID=$!
 stop_server
 
 {
-    printf '{\n  "benchmarks": '
+    printf '{\n  "environment": '
+    cat "$ENV_JSON"
+    printf ',\n  "benchmarks": '
     cat "$BENCH_JSON"
     printf ',\n  "loadgen": '
     cat "$LOADGEN_JSON"
